@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark target runs its experiment exactly once under
+pytest-benchmark timing (``benchmark.pedantic(rounds=1)``), prints the
+paper-style table and appends it to ``benchmarks/results/<name>.txt``
+so EXPERIMENTS.md can reference the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Callable, TypeVar
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+T = TypeVar("T")
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1: run the paper-complete parameter grids.
+
+    The default grids are scaled down so the whole suite finishes in
+    about a minute; the full grids add the intermediate payload points
+    and operator counts the paper sweeps (several minutes).
+    """
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def grid(small: T, full: T) -> T:
+    """Pick the small or full parameter grid based on REPRO_FULL."""
+    return full if full_scale() else small
+
+
+def run_once(benchmark, fn: Callable[[], T]) -> T:
+    """Execute ``fn`` once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def record(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")

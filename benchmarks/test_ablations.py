@@ -1,0 +1,164 @@
+"""Ablations of the paper's design choices (§3.2, DESIGN.md §5).
+
+- adjustment direction: minimum-parallelism start (paper) vs fully
+  dynamic start,
+- iterative refinement vs a one-shot combination of the components,
+- logarithmic group binning (O2) vs per-operator search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_util import record, run_once
+
+from repro.bench.ablations import (
+    ablate_binning,
+    ablate_coordination,
+    ablate_primary_order,
+    ablate_start_direction,
+)
+from repro.bench.reporting import format_table
+from repro.graph import assign_costs, pipeline, skewed
+from repro.perfmodel import xeon_176
+
+MACHINE = xeon_176().with_cores(88)
+
+
+def _graph(n_ops=200, seed=0):
+    return assign_costs(
+        pipeline(n_ops, payload_bytes=1024),
+        skewed(),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _table(name, results, title):
+    record(
+        name,
+        format_table(
+            ["arm", "converged T/s", "settling s", "threads", "queues"],
+            [
+                [
+                    r.arm,
+                    r.converged_throughput,
+                    r.settling_time_s,
+                    r.final_threads,
+                    r.final_n_queues,
+                ]
+                for r in results
+            ],
+            title=title,
+        ),
+    )
+
+
+def test_ablation_start_direction(benchmark):
+    results = run_once(
+        benchmark, lambda: ablate_start_direction(_graph(), MACHINE)
+    )
+    _table(
+        "ablation_start_direction",
+        results,
+        "Ablation -- adjustment direction (start minimum vs maximum)",
+    )
+    by_arm = {r.arm: r for r in results}
+    # The paper's choice converges at least as well, with far fewer
+    # threads held during adaptation (no initial over-subscription).
+    assert (
+        by_arm["start-minimum"].converged_throughput
+        > 0.8 * by_arm["start-maximum"].converged_throughput
+    )
+    assert (
+        by_arm["start-minimum"].saso.max_threads_used
+        <= by_arm["start-maximum"].saso.max_threads_used
+    )
+
+
+def test_ablation_coordination(benchmark):
+    results = run_once(
+        benchmark, lambda: ablate_coordination(_graph(), MACHINE)
+    )
+    _table(
+        "ablation_coordination",
+        results,
+        "Ablation -- iterative refinement vs one-shot combination",
+    )
+    by_arm = {r.arm: r for r in results}
+    # Iterative refinement finds a better joint configuration than a
+    # single threading-model pass followed by thread tuning.
+    assert (
+        by_arm["iterative"].converged_throughput
+        > 1.1 * by_arm["one-shot"].converged_throughput
+    )
+
+
+def test_ablation_binning(benchmark):
+    results = run_once(
+        benchmark, lambda: ablate_binning(_graph(), MACHINE)
+    )
+    _table(
+        "ablation_binning",
+        results,
+        "Ablation -- logarithmic binning (O2) vs per-operator groups",
+    )
+    by_arm = {r.arm: r for r in results}
+    # Binning reaches a comparable configuration...
+    assert (
+        by_arm["log-binning"].converged_throughput
+        > 0.7 * by_arm["per-operator"].converged_throughput
+    )
+    # ...in no more adjustment time (O2's point is settling time).
+    assert (
+        by_arm["log-binning"].settling_time_s
+        <= 1.2 * by_arm["per-operator"].settling_time_s
+    )
+
+
+def test_ablation_primary_order(benchmark):
+    results = run_once(
+        benchmark, lambda: ablate_primary_order(_graph(), MACHINE)
+    )
+    record(
+        "ablation_primary_order",
+        format_table(
+            [
+                "arm",
+                "converged T/s",
+                "settling s",
+                "mean threads",
+                "periods at max threads",
+            ],
+            [
+                [
+                    r.arm,
+                    r.converged_throughput,
+                    r.settling_time_s,
+                    r.mean_threads,
+                    r.periods_at_max_threads,
+                ]
+                for r in results
+            ],
+            title=(
+                "Ablation -- primary adjustment order "
+                "(thread count vs threading model)"
+            ),
+        ),
+    )
+    by_arm = {r.arm: r for r in results}
+    adopted = by_arm["thread-count-primary"]
+    rejected = by_arm["threading-model-primary"]
+    # The adopted ordering settles faster ...
+    assert adopted.settling_time_s < rejected.settling_time_s
+    # ... and oversubscribes less during adaptation (paper's "avoid
+    # overshoot" argument: the inner thread search repeatedly climbs to
+    # the degradation point).
+    assert (
+        adopted.periods_at_max_threads
+        <= rejected.periods_at_max_threads
+    )
+    assert adopted.mean_threads <= rejected.mean_threads * 1.05
+    # Both reach comparable throughput on this workload.
+    assert (
+        adopted.converged_throughput
+        > 0.85 * rejected.converged_throughput
+    )

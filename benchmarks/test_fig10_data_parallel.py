@@ -1,0 +1,48 @@
+"""Figure 10 — pure data-parallel graphs.
+
+Paper setup: data-parallel widths 50 and 100, payload sweep, Xeon.
+Because the Snk operator guards its tuple counter with a lock, "as the
+thread count increases, contention among threads on the Snk operator
+also increases" — thread count elasticity alone can end up *worse* than
+manual threading.
+
+Shape assertions:
+- dynamic-only falls below manual for at least one configuration,
+- multi-level is "consistently equal or better than" manual,
+- multi-level keeps only a small fraction of operators dynamic
+  ("leading to a similar configuration as manual threading").
+"""
+
+from __future__ import annotations
+
+from _bench_util import grid, record, run_once
+
+from repro.bench.figures import fig10_data_parallel
+from repro.bench.reporting import comparison_table
+
+
+def test_fig10_data_parallel(benchmark):
+    comparisons = run_once(
+        benchmark,
+        lambda: fig10_data_parallel(
+            widths=(50, 100),
+            payloads=grid(
+                (128, 1024, 16384), (128, 512, 1024, 4096, 16384)
+            ),
+        ),
+    )
+    record(
+        "fig10_data_parallel",
+        comparison_table(
+            comparisons, title="Figure 10 -- pure data-parallel graphs"
+        ),
+    )
+
+    # Thread count elasticity alone can lose to manual threading.
+    assert any(c.dynamic_speedup < 1.0 for c in comparisons)
+    # Multi-level is consistently >= manual (tolerance for SENS noise).
+    for c in comparisons:
+        assert c.multi_level_speedup >= 0.95, c.workload
+    # Multi-level ends close to manual configuration: few dynamic ops.
+    for c in comparisons:
+        assert c.multi_level.dynamic_ratio < 0.5, c.workload

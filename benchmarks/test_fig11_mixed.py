@@ -1,0 +1,62 @@
+"""Figure 11 — mixed pipeline / data-parallel graphs.
+
+Paper setup: data-parallel width 10, per-path pipeline depth 50 or 100,
+payload sweep — "a close representation of many realistic production
+scenarios".
+
+Shape assertions (paper: "the performance trends obtained here are
+similar to those obtained in the previous cases"):
+- multi-level's edge over dynamic grows with payload,
+- the dynamic ratio falls with payload and operator count,
+- multi-level beats manual clearly when payload is at least a few
+  hundred bytes.
+"""
+
+from __future__ import annotations
+
+from _bench_util import grid, record, run_once
+
+from repro.bench.figures import fig11_mixed
+from repro.bench.reporting import comparison_table
+
+
+def test_fig11_mixed(benchmark):
+    comparisons = run_once(
+        benchmark,
+        lambda: fig11_mixed(
+            depths=(50, 100),
+            payloads=grid(
+                (128, 1024, 16384), (128, 512, 1024, 4096, 16384)
+            ),
+        ),
+    )
+    record(
+        "fig11_mixed",
+        comparison_table(
+            comparisons,
+            title="Figure 11 -- mixed pipeline/data-parallel (width 10)",
+        ),
+    )
+
+    def cell(depth, payload):
+        key = f"mixed(10x{depth}) {payload}B"
+        return next(c for c in comparisons if c.workload == key)
+
+    for depth in (50, 100):
+        # Edge over dynamic grows with payload.
+        assert (
+            cell(depth, 16384).multi_over_dynamic
+            > cell(depth, 128).multi_over_dynamic
+        )
+        # Dynamic ratio falls with payload.
+        assert (
+            cell(depth, 16384).multi_level.dynamic_ratio
+            < cell(depth, 128).multi_level.dynamic_ratio
+        )
+        # Clear wins at >= a few hundred bytes.
+        assert cell(depth, 1024).multi_level_speedup > 2.0
+    # Gains grow with operator count (500 -> 1000 operators).
+    assert (
+        cell(100, 1024).multi_level_speedup
+        >= 0.8 * cell(50, 1024).multi_level_speedup
+    )

@@ -1,0 +1,58 @@
+"""Figure 12 — bushy graphs: varying cores and per-tuple cost.
+
+Paper setup: 82 functional operators in a bushy (split/merge) topology,
+available cores 16..88, per-operator cost 1..10,000 FLOPs (balanced),
+payload 1024 B / 16384 B.
+
+Shape assertions:
+- multi-level adapts to the available cores and keeps a benefit at
+  every core count,
+- "when the tuple cost is low, the benefits of multi-level elasticity
+  are high" — the multi/dynamic ratio is largest for the cheapest
+  operators (queue costs dominate small workloads),
+- multi-level uses no more threads than the core budget.
+"""
+
+from __future__ import annotations
+
+from _bench_util import grid, record, run_once
+
+from repro.bench.figures import fig12_bushy
+from repro.bench.reporting import comparison_table
+
+
+def test_fig12_bushy(benchmark):
+    comparisons = run_once(
+        benchmark,
+        lambda: fig12_bushy(
+            cores=grid((16, 88), (16, 32, 64, 88)),
+            costs=(1.0, 100.0, 10_000.0),
+        ),
+    )
+    record(
+        "fig12_bushy",
+        comparison_table(
+            comparisons, title="Figure 12 -- bushy graphs (82 operators)"
+        ),
+    )
+
+    def cell(cores, cost):
+        key = f"bushy82 {cores}c {cost:g}F"
+        return next(c for c in comparisons if c.workload == key)
+
+    for cores in (16, 88):
+        # Low-cost operators benefit most from threading-model choice.
+        assert (
+            cell(cores, 1.0).multi_over_dynamic
+            >= cell(cores, 10_000.0).multi_over_dynamic
+        )
+        # Multi-level never loses to manual.
+        for cost in (1.0, 100.0, 10_000.0):
+            c = cell(cores, cost)
+            assert c.multi_level_speedup >= 0.95, c.workload
+            assert c.multi_level.threads <= cores
+    # Heavy operators profit from parallelism on more cores.
+    assert (
+        cell(88, 10_000.0).multi_level.throughput
+        > cell(16, 10_000.0).multi_level.throughput
+    )

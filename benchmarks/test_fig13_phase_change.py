@@ -1,0 +1,65 @@
+"""Figure 13 — adaptation to a workload phase change.
+
+Paper setup: a 100-operator pipeline whose heavy-weight operator ratio
+jumps from 10 % to 90 % twenty minutes into the run.  The paper
+observes: re-adaptation finds a new configuration within ~500 s,
+raising the thread count (32 -> 88) and the number of dynamic operators
+(42 -> 86).
+
+Shape assertions:
+- configuration changes resume after the workload shift and finish in
+  bounded time,
+- both the thread count and the dynamic-operator count increase in
+  response to the heavier workload,
+- throughput stabilizes again after re-adaptation.
+"""
+
+from __future__ import annotations
+
+from _bench_util import record, run_once
+
+from repro.bench.figures import fig13_phase_change
+from repro.bench.reporting import format_table
+
+
+def test_fig13_phase_change(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig13_phase_change(
+            n_operators=100,
+            change_time_s=1200.0,
+            total_duration_s=4000.0,
+        ),
+    )
+    record(
+        "fig13_phase_change",
+        format_table(
+            ["metric", "before", "after"],
+            [
+                ["threads", result.threads_before, result.threads_after],
+                ["queues", result.queues_before, result.queues_after],
+                [
+                    "throughput T/s",
+                    result.throughput_before,
+                    result.throughput_after,
+                ],
+                [
+                    "re-settling time s",
+                    "-",
+                    result.re_settling_time_s,
+                ],
+            ],
+            title="Figure 13 -- workload phase change (heavy 10% -> 90%)",
+        ),
+    )
+
+    # The system re-adapts (changes happen after the shift) ...
+    assert result.re_settling_time_s > 0.0
+    # ... within bounded time (paper: ~500 s; allow 2x).
+    assert result.re_settling_time_s < 1000.0
+    # More heavy operators -> more threads and more dynamic operators.
+    assert result.threads_after > result.threads_before
+    assert result.queues_after > result.queues_before
+    # The run ends settled: no changes in the last 20% of the run.
+    last_change = result.trace.last_change_time()
+    assert last_change < 0.9 * result.trace.duration_s

@@ -1,0 +1,55 @@
+"""Figure 15(a) — the VWAP mini-application (52 operators).
+
+Paper setup: VWAP bargain detection on 4, 16 and 88 cores; four
+executions: manual, hand-optimized (9 developer-inserted threaded
+ports), thread count elasticity and multi-level elasticity.
+
+Shape assertions (paper §4.2):
+- both elastic schemes clearly beat manual threading,
+- the elastic schemes beat the hand-optimized configuration (paper: at
+  least two-fold) while using fewer threads than its 9 at low core
+  counts,
+- multi-level's extra benefit over dynamic-only is largest when
+  resources are scarce (paper: +15 % at 4 cores, marginal at 16,
+  +6 % at 88).
+"""
+
+from __future__ import annotations
+
+from _bench_util import record, run_once
+
+from repro.bench.figures import fig15a_vwap
+from repro.bench.reporting import app_table
+
+
+def test_fig15a_vwap(benchmark):
+    comparisons = run_once(
+        benchmark, lambda: fig15a_vwap(cores=(4, 16, 88))
+    )
+    record(
+        "fig15a_vwap",
+        app_table(comparisons, title="Figure 15(a) -- VWAP (52 operators)"),
+    )
+
+    by_cores = {
+        int(c.workload.split()[1].rstrip("c")): c for c in comparisons
+    }
+    for cores, c in by_cores.items():
+        assert c.hand_optimized is not None
+        # Elastic schemes beat manual on >= 16 cores; on 4 cores
+        # multi-level still finds a win.
+        if cores >= 16:
+            assert c.dynamic_speedup > 2.0
+        assert c.multi_level_speedup > 1.0
+    # Elastic beats hand-optimized at every core count (paper: >= 2x).
+    for c in by_cores.values():
+        assert (
+            c.multi_level.throughput > 1.5 * c.hand_optimized.throughput
+        )
+    # Multi-level's edge over dynamic is largest at 4 cores.
+    assert (
+        by_cores[4].multi_over_dynamic
+        > by_cores[88].multi_over_dynamic
+    )
+    # Fewer threads than the 9 hand-inserted ones at low core counts.
+    assert by_cores[4].multi_level.threads < 9

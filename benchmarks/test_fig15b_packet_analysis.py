@@ -1,0 +1,52 @@
+"""Figure 15(b) — the PacketAnalysis production application.
+
+Paper setup: a hand-optimized telecom network-monitoring application
+ingesting live packets at line rate through DPDK; 1-source (387
+operators, 17 hand-inserted threads) and 8-source (2305 operators, 129
+hand-inserted threads) variants on the 176-core Xeon.
+
+Shape assertions (paper §4.3):
+- the elastic executions approach the hand-optimized throughput,
+- multi-level yields only a *marginal* difference over thread count
+  elasticity (small ~256 B tuples, expensive analytics, line-rate
+  bound),
+- the elastic schemes use far fewer threads than the 129 hand-inserted
+  ones on the 8-source variant.
+"""
+
+from __future__ import annotations
+
+from _bench_util import record, run_once
+
+from repro.bench.figures import fig15b_packet_analysis
+from repro.bench.reporting import app_table
+
+
+def test_fig15b_packet_analysis(benchmark):
+    comparisons = run_once(
+        benchmark, lambda: fig15b_packet_analysis(source_counts=(1, 8))
+    )
+    record(
+        "fig15b_packet_analysis",
+        app_table(
+            comparisons,
+            title="Figure 15(b) -- PacketAnalysis (387 / 2305 operators)",
+        ),
+    )
+
+    for c in comparisons:
+        assert c.hand_optimized is not None
+        # Elastic schemes reach (at least) hand-optimized throughput.
+        assert (
+            c.multi_level.throughput > 0.9 * c.hand_optimized.throughput
+        )
+        assert c.dynamic.throughput > 0.9 * c.hand_optimized.throughput
+        # Multi-level vs dynamic: marginal difference (paper: "only a
+        # marginal performance difference").
+        assert 0.85 < c.multi_over_dynamic < 1.2
+        # Everything clearly beats single-region manual execution.
+        assert c.multi_level_speedup > 2.0
+
+    one_src = comparisons[0]
+    # The paper's elastic runs used 8-20 threads (vs 17 hand-inserted).
+    assert one_src.multi_level.threads <= 20

@@ -1,0 +1,75 @@
+"""SASO property verification (§1, §4.4).
+
+The control algorithm claims Stability / Accuracy / Settling time /
+Overshoot-avoidance guarantees.  This bench quantifies all four on the
+adaptation study's workload (skewed 500-operator pipeline) and on the
+run-to-run variance claim from §3.1.1.
+"""
+
+from __future__ import annotations
+
+from _bench_util import record, run_once
+
+from repro.bench.figures import saso_analysis
+from repro.bench.harness import run_multi_level
+from repro.bench.reporting import format_table
+from repro.graph import pipeline
+from repro.perfmodel import xeon_176
+from repro.runtime import RuntimeConfig
+
+
+def test_saso_properties(benchmark):
+    report, trace = run_once(
+        benchmark, lambda: saso_analysis(n_operators=500)
+    )
+    record(
+        "saso_properties",
+        format_table(
+            ["property", "value"],
+            [
+                ["oscillations after settling", report.stability_oscillations],
+                ["accuracy vs static oracle", report.accuracy_ratio],
+                ["settling time s", report.settling_time_s],
+                ["settled fraction of run", report.settled_fraction],
+                ["max threads during run", report.max_threads_used],
+                ["final threads", report.final_threads],
+            ],
+            title="SASO properties (500-op skewed pipeline)",
+        ),
+    )
+    # Stability: no ping-ponging once settled.
+    assert report.stability_ok
+    # Accuracy: within 2x of the static placement oracle.
+    assert report.accuracy_ratio is not None
+    assert report.accuracy_ratio > 0.5
+    # Settling: the run ends in the coordinator's stable mode and no
+    # configuration changes occur afterwards.  (The harness stops runs
+    # shortly after stabilization, so the settled *fraction* of the
+    # truncated trace is not meaningful.)
+    assert trace.observations[-1].mode == "stable"
+    assert trace.last_change_time() < trace.duration_s
+
+
+def test_saso_run_to_run_variance(benchmark):
+    """§3.1.1: arbitrary group selection -> little run-to-run variance."""
+    graph = pipeline(100, payload_bytes=1024)
+    machine = xeon_176().with_cores(88)
+
+    def run_seeds():
+        return [
+            run_multi_level(
+                graph, machine, RuntimeConfig(cores=88, seed=seed)
+            ).throughput
+            for seed in (1, 2, 3, 4, 5)
+        ]
+
+    outcomes = run_once(benchmark, run_seeds)
+    record(
+        "saso_variance",
+        format_table(
+            ["seed", "converged T/s"],
+            [[i + 1, t] for i, t in enumerate(outcomes)],
+            title="Run-to-run variance (5 seeds)",
+        ),
+    )
+    assert max(outcomes) / min(outcomes) < 1.5

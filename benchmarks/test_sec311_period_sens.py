@@ -1,0 +1,79 @@
+"""§3.1.1 — robustness to the adaptation period and SENS choice.
+
+The paper: "We use a period of 5 seconds ... We have also experimented
+with the periods of 10s, 20s and 30s and have not observed significant
+performance impact due to the different period values within this
+range."  And on SENS: "A smaller SENS value favors detecting changes
+while a larger SENS value favors stability. We choose the value of
+0.05."
+
+Shape assertions:
+- converged throughput varies little across 5-30 s adaptation periods,
+- the SENS sweep shows the documented trade-off: a large SENS
+  under-explores (lower converged throughput), while the paper's 0.05
+  stays near the best arm.
+"""
+
+from __future__ import annotations
+
+from _bench_util import record, run_once
+
+from repro.bench.ablations import ablate_sens
+from repro.bench.figures import sec311_period_sweep
+from repro.bench.reporting import format_table
+from repro.graph import pipeline
+from repro.perfmodel import xeon_176
+
+
+def test_sec311_period_insensitivity(benchmark):
+    outcomes = run_once(
+        benchmark,
+        lambda: sec311_period_sweep(periods_s=(5.0, 10.0, 20.0, 30.0)),
+    )
+    record(
+        "sec311_period_sweep",
+        format_table(
+            ["adaptation period s", "converged T/s"],
+            [[p, t] for p, t in sorted(outcomes.items())],
+            title="Sec 3.1.1 -- adaptation period sweep",
+        ),
+    )
+    values = list(outcomes.values())
+    assert min(values) > 0.7 * max(values)
+
+
+def test_sec311_sens_tradeoff(benchmark):
+    graph = pipeline(100, payload_bytes=1024)
+    machine = xeon_176().with_cores(88)
+    results = run_once(
+        benchmark,
+        lambda: ablate_sens(
+            graph, machine, sens_values=(0.01, 0.05, 0.20)
+        ),
+    )
+    record(
+        "sec311_sens_sweep",
+        format_table(
+            ["SENS", "converged T/s", "settling s", "oscillations"],
+            [
+                [
+                    sens,
+                    r.converged_throughput,
+                    r.settling_time_s,
+                    r.saso.stability_oscillations,
+                ]
+                for sens, r in sorted(results.items())
+            ],
+            title="Sec 3.1.1 -- sensitivity threshold sweep (3% noise)",
+        ),
+    )
+    # A very large SENS under-explores relative to the paper's 0.05.
+    assert (
+        results[0.20].converged_throughput
+        <= 1.05 * results[0.05].converged_throughput
+    )
+    # The paper's default lands within 2x of the most sensitive arm.
+    assert (
+        results[0.05].converged_throughput
+        > 0.5 * results[0.01].converged_throughput
+    )

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` on modern pip builds an editable wheel, which requires
+the `wheel` distribution; this offline environment lacks it.  The shim
+lets `python setup.py develop` (and legacy pip flows) work instead.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro: reproduction of "Automating Multi-level Performance Elastic
+Components for IBM Streams" (Middleware '19).
+
+Public API tour
+---------------
+- :mod:`repro.graph` — build stream graphs (operators, streams,
+  topology generators, cost distributions).
+- :mod:`repro.runtime` — the simulated SPL processing element: queue
+  placements, region fusion, the adaptation executor.
+- :mod:`repro.core` — the paper's contribution: threading model
+  elasticity, thread count elasticity and the multi-level coordinator,
+  plus the SASO trace analysis.
+- :mod:`repro.perfmodel` — the calibrated analytical machine substrate
+  (Xeon / POWER8 profiles).
+- :mod:`repro.des` — a tuple-level discrete-event simulator used to
+  validate the analytical model.
+- :mod:`repro.apps` — VWAP, PacketAnalysis, WikiWordCount and workload
+  generators.
+- :mod:`repro.bench` — baselines and per-figure experiment harness.
+
+Quickstart
+----------
+>>> from repro.graph import pipeline
+>>> from repro.perfmodel import xeon_176
+>>> from repro.runtime import ProcessingElement, RuntimeConfig, run_elastic
+>>> graph = pipeline(100, payload_bytes=1024)
+>>> machine = xeon_176().with_cores(16)
+>>> pe = ProcessingElement(graph, machine, RuntimeConfig(cores=16))
+>>> result = run_elastic(pe, duration_s=3000)
+>>> result.final_threads >= 1
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["graph", "runtime", "core", "perfmodel", "des", "apps", "bench"]

@@ -1,0 +1,28 @@
+"""Mini-applications and workloads from the paper's evaluation."""
+
+from . import packet_analysis, vwap, wordcount, workloads
+from .packet_analysis import build_packet_analysis
+from .vwap import build_vwap
+from .wordcount import build_wordcount
+from .workloads import (
+    PhaseChangeWorkload,
+    diurnal_cycle,
+    phase_change,
+    scaled_workload,
+    spike,
+)
+
+__all__ = [
+    "packet_analysis",
+    "vwap",
+    "wordcount",
+    "workloads",
+    "build_packet_analysis",
+    "build_vwap",
+    "build_wordcount",
+    "PhaseChangeWorkload",
+    "diurnal_cycle",
+    "spike",
+    "phase_change",
+    "scaled_workload",
+]

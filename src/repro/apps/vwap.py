@@ -1,0 +1,150 @@
+"""VWAP mini-application (§4.2, Fig. 14(a)).
+
+Volume-Weighted Average Price: "detect bargains and trading
+opportunities based on processing the volume-weighted average price
+from bids and quotes."  The paper's deployment has 52 operators, a low
+tuple payload and light per-tuple computation — which is why the
+threading model elasticity only adds value at low core counts (Fig.
+15(a)).
+
+Topology (52 operators):
+
+    TradeQuote source
+      -> parse chain (4)
+      -> split (1)
+      -> trade filter chain (6)      -> quote filter chain (6)
+      -> VWAP aggregation, data-parallel width 8, depth 2 (16)
+      -> VWAP merge (1)
+      -> bargain-index workers (8)
+      -> join (1)
+      -> export chain (7)
+      -> sink (1)
+
+The *hand-optimized* configuration reproduces the developers' 9
+hand-inserted threaded ports: queues at the split, at half of the VWAP
+aggregation heads, at the bargain-index head, the VWAP merge, the
+export head and the sink — run with 9 threads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.model import FanoutPolicy, StreamGraph
+from ..runtime.queues import QueuePlacement
+
+VWAP_OPERATOR_COUNT = 52
+HAND_OPTIMIZED_THREADS = 9
+
+_PARSE_FLOPS = 2_000.0
+_FILTER_FLOPS = 1_000.0
+_VWAP_FLOPS = 5_000.0
+_BARGAIN_FLOPS = 3_000.0
+_EXPORT_FLOPS = 500.0
+_PAYLOAD_BYTES = 64
+
+
+def build_vwap(payload_bytes: int = _PAYLOAD_BYTES) -> StreamGraph:
+    """Construct the 52-operator VWAP graph."""
+    b = GraphBuilder("vwap", payload_bytes=payload_bytes)
+    src = b.add_source("TradeQuote", cost_flops=10.0)
+
+    prev = src
+    for i in range(4):
+        op = b.add_operator(f"Parse{i}", cost_flops=_PARSE_FLOPS)
+        b.connect(prev, op)
+        prev = op
+
+    split = b.add_operator("Split", cost_flops=_FILTER_FLOPS)
+    # Split broadcasts: trades and quotes are different *filters* over
+    # the same stream, not a data-parallel distribution.
+    b.connect(prev, split)
+
+    trade_prev = split
+    for i in range(6):
+        fan = (
+            FanoutPolicy.SPLIT if i == 5 else FanoutPolicy.BROADCAST
+        )  # the last trade filter feeds the data-parallel VWAP section
+        op = b.add_operator(
+            f"TradeFilter{i}", cost_flops=_FILTER_FLOPS, fanout=fan
+        )
+        b.connect(trade_prev, op)
+        trade_prev = op
+
+    quote_prev = split
+    for i in range(6):
+        fan = (
+            FanoutPolicy.SPLIT if i == 5 else FanoutPolicy.BROADCAST
+        )  # the last quote filter feeds the partitioned bargain join
+        op = b.add_operator(
+            f"QuoteFilter{i}", cost_flops=_FILTER_FLOPS, fanout=fan
+        )
+        b.connect(quote_prev, op)
+        quote_prev = op
+
+    # VWAP aggregation: 8 data-parallel paths of depth 2, fed by the
+    # trade branch (trades carry the volume/price information).
+    vwap_tails = []
+    for p in range(8):
+        head = b.add_operator(f"VwapAgg{p}", cost_flops=_VWAP_FLOPS)
+        tail = b.add_operator(f"VwapCalc{p}", cost_flops=_VWAP_FLOPS)
+        b.connect(trade_prev, head)
+        b.connect(head, tail)
+        vwap_tails.append(tail)
+
+    merge = b.add_operator(
+        "VwapMerge", cost_flops=_FILTER_FLOPS, fanout=FanoutPolicy.SPLIT
+    )
+    for tail in vwap_tails:
+        b.connect(tail, merge)
+
+    # Bargain index: correlate the VWAP stream with the quote stream.
+    bargains = []
+    for p in range(8):
+        op = b.add_operator(f"BargainIndex{p}", cost_flops=_BARGAIN_FLOPS)
+        b.connect(merge, op)
+        b.connect(quote_prev, op)
+        bargains.append(op)
+
+    join = b.add_operator("BargainJoin", cost_flops=_FILTER_FLOPS)
+    for op in bargains:
+        b.connect(op, join)
+
+    prev = join
+    for i in range(7):
+        op = b.add_operator(f"Export{i}", cost_flops=_EXPORT_FLOPS)
+        b.connect(prev, op)
+        prev = op
+
+    snk = b.add_sink("Sink", cost_flops=10.0)
+    b.connect(prev, snk)
+
+    graph = b.build()
+    assert len(graph) == VWAP_OPERATOR_COUNT, len(graph)
+    return graph
+
+
+def hand_optimized(
+    graph: StreamGraph,
+) -> Tuple[QueuePlacement, int]:
+    """The developers' hand-tuned configuration: 9 threaded ports.
+
+    Returns the placement and the matching fixed thread count.
+    """
+    names = [
+        "Split",
+        "VwapAgg0",
+        "VwapAgg2",
+        "VwapAgg4",
+        "VwapAgg6",
+        "VwapMerge",
+        "BargainIndex0",
+        "Export0",
+        "Sink",
+    ]
+    indices: List[int] = [graph.by_name(n).index for n in names]
+    placement = QueuePlacement.of(indices)
+    placement.validate(graph)
+    assert placement.n_queues == HAND_OPTIMIZED_THREADS
+    return placement, HAND_OPTIMIZED_THREADS

@@ -1,0 +1,75 @@
+"""WikiWordCount — the paper's SPL example (Fig. 2), as a stream graph.
+
+The SPL composite retrieves Wikipedia recent changes, tokenizes pages
+into words with 5 data-parallel custom operators, counts words in a
+partitioned sliding-window aggregate with width 10, and publishes over
+a websocket.  We model the same shape:
+
+    HTTPGetStream -> @parallel(5) Tokenize -> @parallel(10) Aggregate
+                  -> WebSocketSend
+
+The tokenizer has selectivity > 1 (a page yields many words), which
+exercises the rate-propagation paths of the region decomposition and
+performance model.  Used by the examples and as an integration-test
+workload.
+"""
+
+from __future__ import annotations
+
+from ..graph.builder import GraphBuilder
+from ..graph.model import FanoutPolicy, StreamGraph
+
+TOKENIZE_WIDTH = 5
+AGGREGATE_WIDTH = 10
+WORDS_PER_PAGE = 40.0
+
+
+def build_wordcount(
+    payload_bytes: int = 64,
+    words_per_page: float = WORDS_PER_PAGE,
+) -> StreamGraph:
+    """Construct the WikiWordCount topology.
+
+    The graph carries one tuple spec, so ``payload_bytes`` should model
+    the *dominant* traffic: with selectivity 40 at the tokenizers, word
+    tuples outnumber page tuples 40:1, hence the small default.  (Pass
+    a page-sized payload to study the opposite regime, where every
+    queue crossing is charged a page copy and manual threading wins.)
+    """
+    b = GraphBuilder("wiki-wordcount", payload_bytes=payload_bytes)
+    src = b.add_source("HTTPGetStream", cost_flops=100.0)
+
+    split = b.add_operator(
+        "PageSplit", cost_flops=20.0, fanout=FanoutPolicy.SPLIT
+    )
+    b.connect(src, split)
+
+    tokenizers = []
+    for i in range(TOKENIZE_WIDTH):
+        op = b.add_operator(
+            f"Tokenize{i}",
+            cost_flops=1_500.0,
+            selectivity=words_per_page,
+        )
+        b.connect(split, op)
+        tokenizers.append(op)
+
+    shuffle = b.add_operator(
+        "PartitionBy", cost_flops=30.0, fanout=FanoutPolicy.SPLIT
+    )
+    for op in tokenizers:
+        b.connect(op, shuffle)
+
+    aggregates = []
+    for i in range(AGGREGATE_WIDTH):
+        op = b.add_operator(f"Aggregate{i}", cost_flops=300.0)
+        b.connect(shuffle, op)
+        aggregates.append(op)
+
+    merge = b.add_operator("CountsMerge", cost_flops=20.0)
+    for op in aggregates:
+        b.connect(op, merge)
+
+    snk = b.add_sink("WebSocketSend", cost_flops=50.0)
+    b.connect(merge, snk)
+    return b.build()

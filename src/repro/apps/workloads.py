@@ -1,0 +1,139 @@
+"""Workload generators and phase-change schedules (Fig. 13).
+
+The paper demonstrates adaptation to workload change on a 100-operator
+pipeline whose heavy-weight operator ratio jumps from 10 % to 90 %
+twenty minutes into the run.  :func:`phase_change` builds the pair of
+graphs and the event schedule the executor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.cost import skewed, assign_costs
+from ..graph.model import StreamGraph
+from ..graph.topologies import pipeline
+
+
+@dataclass(frozen=True)
+class PhaseChangeWorkload:
+    """A two-phase workload for adaptation experiments."""
+
+    initial: StreamGraph
+    changed: StreamGraph
+    change_time_s: float
+
+    def events(self) -> List[Tuple[float, StreamGraph]]:
+        """Workload events in the executor's format."""
+        return [(self.change_time_s, self.changed)]
+
+
+def phase_change(
+    n_operators: int = 100,
+    initial_heavy_fraction: float = 0.10,
+    changed_heavy_fraction: float = 0.90,
+    change_time_s: float = 1200.0,
+    payload_bytes: int = 1024,
+    seed: int = 0,
+) -> PhaseChangeWorkload:
+    """Build the Fig. 13 workload.
+
+    Both phases use the skewed distribution machinery; the second phase
+    re-assigns costs so that ``changed_heavy_fraction`` of the operators
+    are heavy-weight.  The same seed places classes consistently so the
+    change is a genuine workload shift, not a topology change.
+    """
+    base = pipeline(n_operators, payload_bytes=payload_bytes)
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    initial = assign_costs(
+        base,
+        skewed(heavy_fraction=initial_heavy_fraction, medium_fraction=0.30),
+        rng=rng_a,
+    )
+    medium_fraction = min(0.30, max(0.0, 1.0 - changed_heavy_fraction))
+    changed = assign_costs(
+        base,
+        skewed(
+            heavy_fraction=changed_heavy_fraction,
+            medium_fraction=medium_fraction,
+        ),
+        rng=rng_b,
+    )
+    return PhaseChangeWorkload(
+        initial=initial, changed=changed, change_time_s=change_time_s
+    )
+
+
+def diurnal_cycle(
+    graph: StreamGraph,
+    period_s: float = 3600.0,
+    n_cycles: int = 2,
+    low_factor: float = 0.2,
+    high_factor: float = 2.0,
+    steps_per_cycle: int = 4,
+) -> List[Tuple[float, StreamGraph]]:
+    """A repeating load cycle (day/night), as executor workload events.
+
+    Generates ``steps_per_cycle`` discrete load levels per cycle,
+    interpolated between ``low_factor`` and ``high_factor`` of the base
+    workload, repeated ``n_cycles`` times.  Streaming deployments are
+    long-running precisely because load has this shape; the elastic
+    runtime must track it without operator intervention.
+    """
+    if period_s <= 0 or n_cycles < 1 or steps_per_cycle < 2:
+        raise ValueError("invalid diurnal cycle parameters")
+    import math
+
+    events: List[Tuple[float, StreamGraph]] = []
+    step_s = period_s / steps_per_cycle
+    for cycle in range(n_cycles):
+        for step in range(steps_per_cycle):
+            t = cycle * period_s + step * step_s
+            phase = 2.0 * math.pi * step / steps_per_cycle
+            # Sinusoid between low and high.
+            level = low_factor + (high_factor - low_factor) * (
+                0.5 - 0.5 * math.cos(phase)
+            )
+            events.append((t, scaled_workload(graph, level)))
+    return events
+
+
+def spike(
+    graph: StreamGraph,
+    spike_time_s: float,
+    spike_duration_s: float,
+    factor: float = 5.0,
+) -> List[Tuple[float, StreamGraph]]:
+    """A transient load spike: base -> spike -> base.
+
+    Tests both directions of adaptation: the runtime must scale up into
+    the spike and release the extra resources after it passes.
+    """
+    if spike_duration_s <= 0:
+        raise ValueError("spike_duration_s must be > 0")
+    return [
+        (spike_time_s, scaled_workload(graph, factor)),
+        (spike_time_s + spike_duration_s, graph),
+    ]
+
+
+def scaled_workload(
+    graph: StreamGraph, factor: float
+) -> StreamGraph:
+    """Uniformly scale every functional operator's cost by ``factor``.
+
+    A simpler workload shift used in tests (e.g. to verify that the
+    stable-mode detector reacts to both load increases and decreases).
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    costs = {
+        op.index: op.cost_flops * factor
+        for op in graph
+        if not op.is_source and not op.is_sink
+    }
+    return graph.replace_costs(costs)

@@ -1,0 +1,33 @@
+"""Benchmark harness: baselines, per-figure experiments, reporting."""
+
+from .harness import (
+    BaselineResult,
+    Comparison,
+    compare,
+    oracle_sweep,
+    run_dynamic_only,
+    run_hand_optimized,
+    run_manual,
+    run_multi_level,
+)
+from .timeline import render_timeline
+from .reporting import (
+    app_table,
+    comparison_table,
+    format_table,
+)
+
+__all__ = [
+    "BaselineResult",
+    "Comparison",
+    "compare",
+    "oracle_sweep",
+    "run_dynamic_only",
+    "run_hand_optimized",
+    "run_manual",
+    "run_multi_level",
+    "render_timeline",
+    "app_table",
+    "comparison_table",
+    "format_table",
+]

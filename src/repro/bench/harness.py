@@ -1,0 +1,273 @@
+"""Experiment harness: baselines and converged-throughput comparisons.
+
+The paper compares four executions of the same graph:
+
+- **manual** — no scheduler queues, no scheduler threads; the source
+  operator threads execute everything (the benchmarks' manual model
+  "uses only one thread to execute all operators" per source);
+- **hand-optimized** — developer-chosen queue placement and thread
+  count, fixed for the whole run (only for the applications);
+- **dynamic / thread count elasticity** — every operator under the
+  dynamic threading model, thread count tuned by the existing elastic
+  component ("all throughputs are measured after thread elasticity has
+  settled");
+- **multi-level** — the full coordinated system of this paper.
+
+All comparisons use *converged* throughput, mirroring "we only compare
+the converged throughput to other baselines".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.thread_count import ThreadCountElasticity
+from ..graph.model import StreamGraph
+from ..perfmodel.machine import MachineProfile
+from ..perfmodel.noise import NoiseModel
+from ..perfmodel.throughput import PerformanceModel
+from ..runtime.config import RuntimeConfig
+from ..runtime.events import AdaptationTrace
+from ..runtime.executor import AdaptationExecutor
+from ..runtime.pe import ProcessingElement
+from ..runtime.queues import QueuePlacement
+
+DEFAULT_DURATION_S = 20_000.0
+STABLE_PERIODS_TO_STOP = 24
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Converged outcome of one execution strategy."""
+
+    label: str
+    throughput: float
+    threads: int
+    n_queues: int
+    dynamic_ratio: float
+    trace: Optional[AdaptationTrace] = None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """All strategies on one workload, with derived speedups."""
+
+    workload: str
+    manual: BaselineResult
+    dynamic: BaselineResult
+    multi_level: BaselineResult
+    hand_optimized: Optional[BaselineResult] = None
+
+    @property
+    def dynamic_speedup(self) -> float:
+        """Dynamic (thread count elasticity) over manual."""
+        return _ratio(self.dynamic.throughput, self.manual.throughput)
+
+    @property
+    def multi_level_speedup(self) -> float:
+        """Multi-level elasticity over manual."""
+        return _ratio(self.multi_level.throughput, self.manual.throughput)
+
+    @property
+    def multi_over_dynamic(self) -> float:
+        """The number printed on top of the paper's black bars."""
+        return _ratio(self.multi_level.throughput, self.dynamic.throughput)
+
+
+def _ratio(a: float, b: float) -> float:
+    return a / b if b > 0 else float("inf")
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+def run_manual(
+    graph: StreamGraph, machine: MachineProfile
+) -> BaselineResult:
+    """No queues: each source's operator thread executes its region."""
+    model = PerformanceModel(graph, machine)
+    placement = QueuePlacement.empty()
+    throughput = model.sink_throughput(placement, 0)
+    return BaselineResult(
+        label="manual",
+        throughput=throughput,
+        threads=len(graph.sources),
+        n_queues=0,
+        dynamic_ratio=0.0,
+    )
+
+
+def run_hand_optimized(
+    graph: StreamGraph,
+    machine: MachineProfile,
+    placement: QueuePlacement,
+    threads: int,
+) -> BaselineResult:
+    """Fixed developer-tuned placement and thread count."""
+    model = PerformanceModel(graph, machine)
+    throughput = model.sink_throughput(placement, threads)
+    return BaselineResult(
+        label="hand-optimized",
+        throughput=throughput,
+        threads=threads,
+        n_queues=placement.n_queues,
+        dynamic_ratio=placement.dynamic_ratio(graph),
+    )
+
+
+def run_dynamic_only(
+    graph: StreamGraph,
+    machine: MachineProfile,
+    config: Optional[RuntimeConfig] = None,
+    max_periods: int = 400,
+) -> BaselineResult:
+    """Full dynamic placement + thread count elasticity alone.
+
+    Reproduces Streams 4.2 behaviour: scheduler queues in front of every
+    (non-source) operator, and the elastic thread scheduler searching
+    for the best count.  The search runs on noisy observations like the
+    real system.
+    """
+    config = config or RuntimeConfig(cores=machine.logical_cores)
+    model = PerformanceModel(graph, machine)
+    placement = QueuePlacement.full(graph)
+    noise = NoiseModel(std=config.noise_std, seed=config.seed + 7)
+    controller = ThreadCountElasticity(
+        min_threads=config.elasticity.min_threads,
+        max_threads=config.effective_max_threads,
+        initial_threads=config.elasticity.initial_threads,
+        sens=config.elasticity.sens,
+    )
+    threads = controller.current
+    for _ in range(max_periods):
+        observed = noise.observe(model.sink_throughput(placement, threads))
+        proposal = controller.propose(observed)
+        if proposal is not None:
+            threads = proposal
+        elif controller.settled:
+            break
+    throughput = model.sink_throughput(placement, threads)
+    return BaselineResult(
+        label="dynamic",
+        throughput=throughput,
+        threads=threads,
+        n_queues=placement.n_queues,
+        dynamic_ratio=1.0,
+    )
+
+
+def run_multi_level(
+    graph: StreamGraph,
+    machine: MachineProfile,
+    config: Optional[RuntimeConfig] = None,
+    duration_s: float = DEFAULT_DURATION_S,
+) -> BaselineResult:
+    """The full coordinated multi-level elasticity run."""
+    config = config or RuntimeConfig(cores=machine.logical_cores)
+    pe = ProcessingElement(graph, machine, config)
+    executor = AdaptationExecutor(pe)
+    result = executor.run(
+        duration_s, stop_after_stable_periods=STABLE_PERIODS_TO_STOP
+    )
+    return BaselineResult(
+        label="multi-level",
+        throughput=result.converged_throughput,
+        threads=result.final_threads,
+        n_queues=result.final_n_queues,
+        dynamic_ratio=result.final_dynamic_ratio,
+        trace=result.trace,
+    )
+
+
+def compare(
+    graph: StreamGraph,
+    machine: MachineProfile,
+    config: Optional[RuntimeConfig] = None,
+    hand: Optional[Tuple[QueuePlacement, int]] = None,
+    workload: str = "",
+) -> Comparison:
+    """Run every strategy on one workload."""
+    config = config or RuntimeConfig(cores=machine.logical_cores)
+    manual = run_manual(graph, machine)
+    dynamic = run_dynamic_only(graph, machine, config)
+    multi = run_multi_level(graph, machine, config)
+    hand_result = None
+    if hand is not None:
+        hand_result = run_hand_optimized(graph, machine, hand[0], hand[1])
+    return Comparison(
+        workload=workload or graph.name,
+        manual=manual,
+        dynamic=dynamic,
+        multi_level=multi,
+        hand_optimized=hand_result,
+    )
+
+
+# ----------------------------------------------------------------------
+# oracle sweep (reference for accuracy / Fig. 1 black lines)
+# ----------------------------------------------------------------------
+def oracle_sweep(
+    graph: StreamGraph,
+    machine: MachineProfile,
+    fractions: Sequence[float],
+    thread_candidates: Optional[Iterable[int]] = None,
+) -> List[Tuple[float, int, float]]:
+    """Best throughput per fraction of operators under dynamic threading.
+
+    For each fraction, place queues on the most expensive operators (by
+    rate-weighted cost, descending — the best static heuristic) and
+    sweep the thread count, keeping the best.  Returns
+    ``(fraction, best_threads, throughput)`` rows — the paper's black
+    lines in Fig. 1, where "all throughputs are measured after thread
+    elasticity has settled on the best number of threads".
+    """
+    model = PerformanceModel(graph, machine)
+    weighted = graph.weighted_cost_flops()
+    topo_pos = {
+        idx: pos for pos, idx in enumerate(graph.topological_order())
+    }
+    # Rank operators by rate-weighted cost; operators of equal weight
+    # (e.g. every stage of a balanced pipeline) are interleaved evenly
+    # by topological position rather than taken as a contiguous prefix:
+    # a cluster of adjacent queues buys almost no pipeline parallelism,
+    # and the oracle is supposed to be a strong static reference.
+    buckets: dict = {}
+    for op in graph:
+        if op.is_source:
+            continue
+        buckets.setdefault(weighted[op.index], []).append(op.index)
+    eligible: List[int] = []
+    for weight in sorted(buckets, reverse=True):
+        members = sorted(buckets[weight], key=lambda i: topo_pos[i])
+        # Even interleave: repeatedly halve the index stride so the
+        # first k of the resulting order are spread across the bucket.
+        order: List[int] = []
+        added = [False] * len(members)
+        step = len(members)
+        while step >= 1:
+            i = 0
+            while i < len(members):
+                if not added[i]:
+                    order.append(members[i])
+                    added[i] = True
+                i += step
+            step //= 2
+        eligible.extend(order)
+    if thread_candidates is None:
+        cores = machine.logical_cores
+        thread_candidates = sorted(
+            {1, 2, 4, 8, *range(0, cores + 1, max(1, cores // 16)), cores}
+        )
+    candidates = [t for t in thread_candidates if t >= 0]
+    rows: List[Tuple[float, int, float]] = []
+    for fraction in fractions:
+        k = int(round(fraction * len(eligible)))
+        placement = QueuePlacement.of(eligible[:k])
+        best_threads, best = 0, 0.0
+        for threads in candidates:
+            throughput = model.sink_throughput(placement, threads)
+            if throughput > best:
+                best, best_threads = throughput, threads
+        rows.append((fraction, best_threads, best))
+    return rows

@@ -1,0 +1,91 @@
+"""Aggregate the recorded benchmark tables into one summary document.
+
+``pytest benchmarks/ --benchmark-only`` persists every figure's table
+under ``benchmarks/results/``; this module stitches them into a single
+Markdown report (``collect_summary``) so the measured numbers behind
+EXPERIMENTS.md can be regenerated with one call:
+
+    python -m repro.bench.summary [results_dir] [output.md]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import List, Optional, Sequence, Union
+
+PathLike = Union[str, pathlib.Path]
+
+# Presentation order: paper figures first, supporting analyses, then
+# ablations and extensions.
+_ORDER = [
+    "fig01_motivation",
+    "fig06_adaptation",
+    "fig06_timelines",
+    "fig09_pipeline_xeon_balanced",
+    "fig09_pipeline_xeon_skewed",
+    "fig09_pipeline_power8_balanced",
+    "fig09_pipeline_power8_skewed",
+    "fig10_data_parallel",
+    "fig11_mixed",
+    "fig12_bushy",
+    "fig13_phase_change",
+    "fig15a_vwap",
+    "fig15b_packet_analysis",
+    "sec311_period_sweep",
+    "sec311_sens_sweep",
+    "saso_properties",
+    "saso_variance",
+    "ablation_start_direction",
+    "ablation_coordination",
+    "ablation_binning",
+    "ablation_primary_order",
+    "ext_latency",
+    "ext_multi_pe",
+]
+
+
+def collect_summary(
+    results_dir: PathLike,
+    names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render all recorded result tables as one Markdown document.
+
+    Unknown files (not in the presentation order) are appended at the
+    end so nothing recorded is silently dropped.
+    """
+    results = pathlib.Path(results_dir)
+    if not results.is_dir():
+        raise FileNotFoundError(
+            f"no results directory at {results}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    available = {p.stem: p for p in sorted(results.glob("*.txt"))}
+    order: List[str] = list(names) if names else list(_ORDER)
+    order += [n for n in sorted(available) if n not in order]
+
+    sections = ["# Measured results (generated)\n"]
+    for name in order:
+        path = available.get(name)
+        if path is None:
+            continue
+        body = path.read_text().rstrip()
+        sections.append(f"## {name}\n\n```\n{body}\n```\n")
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    results_dir = args[0] if args else "benchmarks/results"
+    output = args[1] if len(args) > 1 else None
+    text = collect_summary(results_dir)
+    if output:
+        pathlib.Path(output).write_text(text)
+        print(f"wrote {output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""ASCII rendering of adaptation timelines (the paper's Fig. 6 plots).
+
+Figure 6 plots throughput (left axis), scheduler queues (right axis)
+and the current thread count (top axis) against time.  This module
+renders the same three series from an :class:`AdaptationTrace` as
+aligned text rows, so benchmark outputs and examples can show *how* a
+run adapted, not just where it ended.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..runtime.events import AdaptationTrace
+
+_BLOCKS = " _.:-=+*#%@"
+
+
+def _scale_row(values: Sequence[float], width: int) -> List[float]:
+    """Downsample ``values`` to ``width`` buckets (max within bucket)."""
+    if not values:
+        return []
+    if len(values) <= width:
+        return list(values)
+    out = []
+    bucket = len(values) / width
+    for i in range(width):
+        lo = int(i * bucket)
+        hi = max(lo + 1, int((i + 1) * bucket))
+        out.append(max(values[lo:hi]))
+    return out
+
+
+def _spark(values: Sequence[float], width: int) -> str:
+    scaled = _scale_row(values, width)
+    top = max(scaled) if scaled and max(scaled) > 0 else 1.0
+    return "".join(
+        _BLOCKS[
+            min(len(_BLOCKS) - 1, int(v / top * (len(_BLOCKS) - 1)))
+        ]
+        for v in scaled
+    )
+
+
+def _thread_segments(trace: AdaptationTrace, width: int) -> str:
+    """Top-axis style thread-count labels at their change positions."""
+    if not trace.observations:
+        return ""
+    duration = trace.duration_s
+    row = [" "] * width
+    last_label_end = -2
+    threads = None
+    for obs in trace.observations:
+        if obs.threads != threads:
+            threads = obs.threads
+            pos = (
+                int(obs.time_s / duration * (width - 1))
+                if duration
+                else 0
+            )
+            label = str(threads)
+            if pos > last_label_end + 1 and pos + len(label) <= width:
+                for i, ch in enumerate(label):
+                    row[pos + i] = ch
+                last_label_end = pos + len(label) - 1
+    return "".join(row)
+
+
+def render_timeline(
+    trace: AdaptationTrace, width: int = 76, title: str = ""
+) -> str:
+    """Render throughput / queues / threads rows for a trace."""
+    throughput = [o.true_throughput for o in trace.observations]
+    queues = [float(o.n_queues) for o in trace.observations]
+    lines = []
+    if title:
+        lines.append(title)
+    if not trace.observations:
+        lines.append("  (empty trace)")
+        return "\n".join(lines)
+    peak = max(throughput)
+    peak_queues = max(queues) if queues else 0
+    lines.append(f"threads    {_thread_segments(trace, width)}")
+    lines.append(f"throughput {_spark(throughput, width)}  "
+                 f"(peak {peak:,.0f} t/s)")
+    lines.append(f"queues     {_spark(queues, width)}  "
+                 f"(peak {int(peak_queues)})")
+    duration = trace.duration_s
+    lines.append(
+        f"time       0s{' ' * (width - 12)}{duration:,.0f}s"
+    )
+    lines.append(
+        f"settling: last change at {trace.last_change_time():,.0f}s; "
+        f"converged {trace.final_throughput():,.0f} t/s with "
+        f"{trace.final_threads()} threads / {trace.final_n_queues()} queues"
+    )
+    return "\n".join(lines)

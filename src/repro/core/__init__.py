@@ -1,0 +1,46 @@
+"""The paper's contribution: multi-level performance elastic components."""
+
+from .alt_coordinator import AltMode, ThreadingPrimaryCoordinator
+from .binning import ProfilingGroup, build_groups, validate_groups
+from .coordinator import CoordinatorAction, Mode, MultiLevelCoordinator
+from .history import AdjustmentHistory, AdjustmentRecord, Direction
+from .metrics import ThroughputSensor, Trend, classify_trend, significantly_better
+from .profiler import CostProfile, SamplingProfiler
+from .saso import SasoReport, analyze, count_oscillations
+from .satisfaction import (
+    SatisfactionSample,
+    measured_satisfaction,
+    should_skip_secondary,
+)
+from .thread_count import ThreadCountElasticity
+from .threading_model import AdjustDecision, Step, ThreadingModelElasticity
+
+__all__ = [
+    "AltMode",
+    "ThreadingPrimaryCoordinator",
+    "ProfilingGroup",
+    "build_groups",
+    "validate_groups",
+    "CoordinatorAction",
+    "Mode",
+    "MultiLevelCoordinator",
+    "AdjustmentHistory",
+    "AdjustmentRecord",
+    "Direction",
+    "ThroughputSensor",
+    "Trend",
+    "classify_trend",
+    "significantly_better",
+    "CostProfile",
+    "SamplingProfiler",
+    "SasoReport",
+    "analyze",
+    "count_oscillations",
+    "SatisfactionSample",
+    "measured_satisfaction",
+    "should_skip_secondary",
+    "ThreadCountElasticity",
+    "AdjustDecision",
+    "Step",
+    "ThreadingModelElasticity",
+]

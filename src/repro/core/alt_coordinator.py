@@ -1,0 +1,168 @@
+"""The rejected design: threading model as the PRIMARY adjustment.
+
+§3.2 of the paper describes two candidate orderings for the multi-level
+coordination and adopts thread count as the primary.  This module
+implements the alternative — "Change in threading model: Threading model
+changes trigger finding the locally optimal number of threads for the
+current threading model configuration" — so the design choice can be
+measured instead of argued (see ``bench.ablations.ablate_primary_order``).
+
+The paper's two objections, which the ablation quantifies:
+
+1. finding the locally optimal thread count requires climbing *to the
+   point of performance degradation*; doing that inside the inner loop
+   oversubscribes the system much more frequently during adaptation;
+2. thread count changes have higher performance variance than threading
+   model changes, so an outer threading-model search fed by inner
+   thread-count results receives a noisier objective.
+
+Structure: the outer loop is a threading-model phase; every trial
+placement it emits is evaluated by running a full inner thread-count
+search to settlement, and the settled throughput is what the outer
+search sees as that placement's measurement.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Sequence
+
+from ..runtime.config import ElasticityConfig
+from .binning import ProfilingGroup
+from .coordinator import CoordinatorAction
+from .history import Direction
+from .thread_count import ThreadCountElasticity
+from .threading_model import (
+    AdjustDecision,
+    Step,
+    ThreadingModelElasticity,
+)
+
+
+class AltMode(enum.Enum):
+    INIT = "init"
+    INNER_THREADS = "inner_threads"
+    STABLE = "stable"
+
+
+class ThreadingPrimaryCoordinator:
+    """Multi-level coordination with the threading model as primary.
+
+    Exposes the same ``step(observed) -> CoordinatorAction`` protocol as
+    :class:`~repro.core.coordinator.MultiLevelCoordinator`, so the same
+    executor drives it.
+    """
+
+    def __init__(
+        self,
+        config: ElasticityConfig,
+        max_threads: int,
+        profile_provider: Callable[[], Sequence[ProfilingGroup]],
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.max_threads = max_threads
+        self.profile_provider = profile_provider
+        self.threading_model = ThreadingModelElasticity(
+            seed=seed, sens=config.sens
+        )
+        self.mode = AltMode.INIT
+        self._tc: Optional[ThreadCountElasticity] = None
+        self._threads = config.initial_threads
+        self._outer_rounds = 0
+        self._max_outer_rounds = 8
+        self._mode_log: List[AltMode] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def current_threads(self) -> int:
+        return self._threads
+
+    @property
+    def is_stable(self) -> bool:
+        return self.mode is AltMode.STABLE
+
+    def mode_history(self) -> List[AltMode]:
+        return list(self._mode_log)
+
+    # ------------------------------------------------------------------
+    def _new_inner_search(self) -> ThreadCountElasticity:
+        """Fresh inner thread-count search for the current placement.
+
+        Restarted from the minimum every time, per the design under
+        test: the inner loop must re-establish the locally optimal
+        count for each threading-model trial.
+        """
+        return ThreadCountElasticity(
+            min_threads=self.config.min_threads,
+            max_threads=self.max_threads,
+            initial_threads=self.config.min_threads,
+            sens=self.config.sens,
+        )
+
+    def step(self, observed: float) -> CoordinatorAction:
+        self._mode_log.append(self.mode)
+        if self.mode is AltMode.INIT:
+            groups = list(self.profile_provider())
+            self.threading_model.set_groups(
+                groups, self.threading_model.placement()
+            )
+            step = self.threading_model.begin_phase(
+                Direction.UP, observed
+            )
+            return self._emit(step, observed)
+
+        if self.mode is AltMode.INNER_THREADS:
+            assert self._tc is not None
+            proposal = self._tc.propose(observed)
+            if proposal is not None:
+                self._threads = proposal
+                return CoordinatorAction(
+                    set_threads=proposal, note="inner thread search"
+                )
+            if self._tc.settled:
+                # Inner search done: its settled throughput is the
+                # outer measurement for the current trial placement.
+                settled_throughput = (
+                    self._tc.measurement(self._tc.current) or observed
+                )
+                self._tc = None
+                if not self.threading_model.phase_active:
+                    self.mode = AltMode.STABLE
+                    return CoordinatorAction(note="settled")
+                step = self.threading_model.step(settled_throughput)
+                return self._emit(step, settled_throughput)
+            return CoordinatorAction(note="inner holding")
+
+        return CoordinatorAction(note="stable")
+
+    def _emit(self, step: Step, observed: float) -> CoordinatorAction:
+        if step.done:
+            self._outer_rounds += 1
+            if (
+                step.decision is AdjustDecision.CHANGE
+                and self._outer_rounds < self._max_outer_rounds
+            ):
+                # Placement changed: open another outer phase.
+                next_step = self.threading_model.begin_phase(
+                    Direction.UP, observed
+                )
+                if not next_step.done:
+                    return self._start_inner(next_step)
+            self.mode = AltMode.STABLE
+            return CoordinatorAction(
+                set_placement=step.placement,
+                note=f"outer settled ({step.decision.value})",
+            )
+        return self._start_inner(step)
+
+    def _start_inner(self, step: Step) -> CoordinatorAction:
+        """Apply the outer trial and launch the inner thread search."""
+        self.mode = AltMode.INNER_THREADS
+        self._tc = self._new_inner_search()
+        self._threads = self._tc.current
+        return CoordinatorAction(
+            set_placement=step.placement,
+            set_threads=self._threads,
+            note="outer trial + inner restart",
+        )

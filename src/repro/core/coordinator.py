@@ -1,0 +1,339 @@
+"""Multi-level elastic coordination (§3.2-§3.3, Fig. 7).
+
+The coordinator owns both elastic components and implements the paper's
+iterative refinement: "fixing one elastic component at a time while
+making adjustment for the other until no performance improvement can be
+gained".  Design decisions encoded here, as in the paper:
+
+- **Primary adjustment is the thread count** — a thread count change
+  *triggers* a threading model exploration, not the other way round
+  (avoids oversubscription overshoot; thread changes have higher
+  variance so they live in the outer loop).
+- **Adjustment direction starts from minimum parallelism** — no queues,
+  minimum threads; parallelism is introduced, never stripped away from a
+  fully dynamic start (more reliable signal, no initial
+  over-subscription).
+- **Learning from history** — each threading model adjustment records
+  the thread range it remained optimal for; a thread change landing
+  inside the recorded range skips the secondary adjustment.
+- **Satisfaction factor** — if the thread change alone improved
+  throughput proportionately (measured sf >= THRE), the secondary
+  adjustment is skipped outright.
+
+The coordinator is substrate-agnostic: it sees throughput observations
+(one per adaptation period) and emits :class:`CoordinatorAction`
+configuration changes; profiling groups are obtained through a callback
+so the same logic drives the analytical model, the discrete-event
+simulator, or (in principle) a real runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..runtime.config import ElasticityConfig
+from ..runtime.queues import QueuePlacement
+from .binning import ProfilingGroup
+from .history import AdjustmentHistory, Direction
+from .satisfaction import SatisfactionSample, should_skip_secondary
+from .thread_count import ThreadCountElasticity
+from .threading_model import (
+    AdjustDecision,
+    Step,
+    ThreadingModelElasticity,
+)
+
+
+class Mode(enum.Enum):
+    """Which elastic component is active (Fig. 7's two booleans)."""
+
+    INIT = "init"
+    THREADING_MODEL = "threading_model"
+    THREAD_COUNT = "thread_count"
+    STABLE = "stable"
+
+
+@dataclass(frozen=True)
+class CoordinatorAction:
+    """Configuration changes to apply before the next period."""
+
+    set_placement: Optional[QueuePlacement] = None
+    set_threads: Optional[int] = None
+    note: str = ""
+
+    @property
+    def is_noop(self) -> bool:
+        return self.set_placement is None and self.set_threads is None
+
+
+@dataclass
+class _PendingThreadChange:
+    prev_threads: int
+    new_threads: int
+    prev_throughput: float
+
+
+class MultiLevelCoordinator:
+    """Fig. 7's ``adapt()`` loop as an event-driven controller."""
+
+    def __init__(
+        self,
+        config: ElasticityConfig,
+        max_threads: int,
+        profile_provider: Callable[[], Sequence[ProfilingGroup]],
+        seed: int = 0,
+        workload_change_factor: float = 3.0,
+        workload_change_persistence: int = 2,
+    ) -> None:
+        self.config = config
+        self.profile_provider = profile_provider
+        self.threading_model = ThreadingModelElasticity(
+            seed=seed, sens=config.sens
+        )
+        self.thread_count = ThreadCountElasticity(
+            min_threads=config.min_threads,
+            max_threads=(
+                config.max_threads
+                if config.max_threads is not None
+                else max_threads
+            ),
+            initial_threads=config.initial_threads,
+            sens=config.sens,
+        )
+        self.history = AdjustmentHistory()
+        self.mode = Mode.INIT
+        self._pending: Optional[_PendingThreadChange] = None
+        self._settle_probes_done = 0
+        self._settle_stay_streak = 0
+        self._in_settle_probe = False
+        self._last_settle_direction: Optional[Direction] = None
+        self._stable_baseline: Optional[float] = None
+        self._deviation_streak = 0
+        self._workload_change_factor = workload_change_factor
+        self._workload_change_persistence = workload_change_persistence
+        self._mode_log: List[Mode] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def current_threads(self) -> int:
+        return self.thread_count.current
+
+    @property
+    def current_placement(self) -> QueuePlacement:
+        return self.threading_model.placement()
+
+    @property
+    def is_stable(self) -> bool:
+        return self.mode is Mode.STABLE
+
+    def mode_history(self) -> List[Mode]:
+        return list(self._mode_log)
+
+    # ------------------------------------------------------------------
+    def step(self, observed: float) -> CoordinatorAction:
+        """Process one adaptation period's throughput observation."""
+        self._mode_log.append(self.mode)
+        if self.mode is Mode.INIT:
+            return self._step_init(observed)
+        if self.mode is Mode.THREADING_MODEL:
+            return self._step_threading_model(observed)
+        if self.mode is Mode.THREAD_COUNT:
+            return self._step_thread_count(observed)
+        return self._step_stable(observed)
+
+    # ------------------------------------------------------------------
+    def _step_init(self, observed: float) -> CoordinatorAction:
+        """First observation: profile, then open the initial UP phase."""
+        groups = list(self.profile_provider())
+        self.threading_model.set_groups(
+            groups, self.threading_model.placement()
+        )
+        step = self.threading_model.begin_phase(Direction.UP, observed)
+        return self._emit_tm_step(step, observed, note="initial exploration")
+
+    # ------------------------------------------------------------------
+    def _step_threading_model(self, observed: float) -> CoordinatorAction:
+        step = self.threading_model.step(observed)
+        return self._emit_tm_step(step, observed)
+
+    def _emit_tm_step(
+        self, step: Step, observed: float, note: str = ""
+    ) -> CoordinatorAction:
+        if not step.done:
+            self.mode = Mode.THREADING_MODEL
+            return CoordinatorAction(
+                set_placement=step.placement,
+                note=note or "threading model trial",
+            )
+        # Phase finished: bookkeeping per Fig. 7 lines 18-22.
+        level = self.thread_count.current
+        if self._in_settle_probe:
+            self._in_settle_probe = False
+            if step.decision is AdjustDecision.STAY:
+                self._settle_stay_streak += 1
+            else:
+                self._settle_stay_streak = 0
+        if step.decision is AdjustDecision.CHANGE:
+            self.history.create_entry(step.placement, level)
+            # The placement changed, so the previously optimal thread
+            # count is stale: resume the primary adjustment ("we switch
+            # back to the thread count elasticity phase").  Without
+            # this, a thread controller that settled under the old
+            # placement would never exploit the parallelism the new
+            # queues expose.
+            self.thread_count.reset()
+            self._settle_probes_done = 0
+            self._last_settle_direction = None
+        elif self.history.last is not None:
+            self.history.update_entry(level)
+        else:
+            # A STAY on the very first exploration: the empty placement
+            # is the record.
+            self.history.create_entry(step.placement, level)
+        self.mode = Mode.THREAD_COUNT
+        self.thread_count.rebase(observed)
+        return CoordinatorAction(
+            set_placement=step.placement,
+            note=f"threading model settled ({step.decision.value})",
+        )
+
+    # ------------------------------------------------------------------
+    def _step_thread_count(self, observed: float) -> CoordinatorAction:
+        # 1. Evaluate the previous thread change (satisfaction factor +
+        #    history), possibly triggering the secondary adjustment.
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            direction = self._secondary_direction(pending, observed)
+            if direction is not Direction.NONE:
+                step = self.threading_model.begin_phase(direction, observed)
+                return self._emit_tm_step(
+                    step,
+                    observed,
+                    note=f"secondary adjustment ({direction.value})",
+                )
+
+        # 2. Continue the primary (thread count) adjustment.
+        prev_level = self.thread_count.current
+        new_level = self.thread_count.propose(observed)
+        if new_level is not None:
+            self._pending = _PendingThreadChange(
+                prev_threads=prev_level,
+                new_threads=new_level,
+                prev_throughput=observed,
+            )
+            self._settle_probes_done = 0
+            self._settle_stay_streak = 0
+            self._last_settle_direction = None
+            return CoordinatorAction(
+                set_threads=new_level, note="thread count adjustment"
+            )
+
+        if self.thread_count.settled:
+            # The iterative refinement only terminates when *neither*
+            # component can improve.  Before declaring stability, give
+            # the threading model final passes at the settled thread
+            # count: first in the direction the history record
+            # suggests, then once in the opposite direction (a STAY in
+            # one direction does not rule out gains in the other).
+            if (
+                self._settle_stay_streak < 2
+                and self._settle_probes_done < 6
+            ):
+                level = self.thread_count.current
+                if self._last_settle_direction is None:
+                    if self.config.use_history:
+                        direction = self.history.direction_for(level)
+                        if direction is Direction.NONE:
+                            # The record already validates this level;
+                            # still explore upward once before
+                            # stabilizing.
+                            direction = Direction.UP
+                    else:
+                        direction = Direction.UP
+                else:
+                    # Alternate directions: a STAY in one direction
+                    # does not rule out gains in the other, and each
+                    # probe re-randomizes group subsets.
+                    direction = (
+                        Direction.DOWN
+                        if self._last_settle_direction is Direction.UP
+                        else Direction.UP
+                    )
+                self._settle_probes_done += 1
+                self._last_settle_direction = direction
+                self._in_settle_probe = True
+                step = self.threading_model.begin_phase(
+                    direction, observed
+                )
+                return self._emit_tm_step(
+                    step,
+                    observed,
+                    note=f"settle probe ({direction.value})",
+                )
+            self.mode = Mode.STABLE
+            self._stable_baseline = observed
+            self._deviation_streak = 0
+            return CoordinatorAction(note="settled")
+        return CoordinatorAction(note="thread count holding")
+
+    def _secondary_direction(
+        self, pending: _PendingThreadChange, observed: float
+    ) -> Direction:
+        """Decide whether/which way to run the secondary adjustment."""
+        if self.config.use_satisfaction_factor:
+            sample = SatisfactionSample(
+                prev_throughput=pending.prev_throughput,
+                curr_throughput=observed,
+                prev_threads=pending.prev_threads,
+                new_threads=pending.new_threads,
+            )
+            if should_skip_secondary(
+                sample, self.config.satisfaction_threshold
+            ):
+                return Direction.NONE
+        if self.config.use_history:
+            return self.history.direction_for(pending.new_threads)
+        # No history optimization: always explore, in the direction the
+        # thread count moved (Fig. 6(a) behaviour: every thread change
+        # triggers threading model elasticity).
+        if pending.new_threads >= pending.prev_threads:
+            return Direction.UP
+        return Direction.DOWN
+
+    # ------------------------------------------------------------------
+    def _step_stable(self, observed: float) -> CoordinatorAction:
+        """Monitor for workload change (Fig. 13)."""
+        baseline = self._stable_baseline
+        if baseline is None or baseline == 0.0:
+            self._stable_baseline = observed
+            return CoordinatorAction(note="stable")
+        threshold = self._workload_change_factor * self.config.sens
+        deviation = abs(observed / baseline - 1.0)
+        if deviation > threshold:
+            self._deviation_streak += 1
+            if self._deviation_streak >= self._workload_change_persistence:
+                return self._restart(observed)
+        else:
+            self._deviation_streak = 0
+            # Slow EWMA drift of the baseline.
+            self._stable_baseline = 0.9 * baseline + 0.1 * observed
+        return CoordinatorAction(note="stable")
+
+    def _restart(self, observed: float) -> CoordinatorAction:
+        """Workload change detected: re-profile and re-explore."""
+        self._deviation_streak = 0
+        self._stable_baseline = None
+        self._settle_probes_done = 0
+        self._settle_stay_streak = 0
+        self._last_settle_direction = None
+        groups = list(self.profile_provider())
+        self.threading_model.set_groups(
+            groups, self.threading_model.placement()
+        )
+        self.history.clear()
+        self.thread_count.reset()
+        self.mode = Mode.THREAD_COUNT
+        step = self.threading_model.begin_phase(Direction.UP, observed)
+        return self._emit_tm_step(step, observed, note="workload change")

@@ -1,0 +1,116 @@
+"""Learning from history (§3.3, first optimization).
+
+"The essence of this optimization is to keep track of the thread range
+(N, M) that works well with the recent threading model adjustment ...
+Inside each history record of threading model adjustment, we record the
+maximum and minimum number of threads that have worked well with this
+configuration."
+
+When the thread count changes, the coordinator consults the most recent
+record:
+
+- count within ``[min_threads, max_threads]``  -> skip the threading
+  model adjustment entirely (``Direction.NONE``),
+- count above the range -> explore *more* scheduler queues
+  (``Direction.UP``),
+- count below the range -> switch operators back to manual
+  (``Direction.DOWN``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..runtime.queues import QueuePlacement
+
+
+class Direction(enum.Enum):
+    """Which way the secondary (threading model) adjustment should go."""
+
+    NONE = "none"
+    UP = "up"
+    DOWN = "down"
+
+
+@dataclass
+class AdjustmentRecord:
+    """One history entry: a placement and its validated thread range."""
+
+    placement: QueuePlacement
+    min_threads: int
+    max_threads: int
+
+    def __post_init__(self) -> None:
+        if self.min_threads > self.max_threads:
+            raise ValueError(
+                f"min_threads ({self.min_threads}) > max_threads "
+                f"({self.max_threads})"
+            )
+
+    def to_continue(self, thread_level: int) -> Direction:
+        """Fig. 7's ``lastAdjustment.toContinue(threadLevel)``."""
+        if thread_level > self.max_threads:
+            return Direction.UP
+        if thread_level < self.min_threads:
+            return Direction.DOWN
+        return Direction.NONE
+
+    def extend(self, thread_level: int) -> None:
+        """Widen the validated range to include ``thread_level``.
+
+        Called when a threading model exploration at this thread level
+        ended with decision STAY (the placement already was optimal).
+        """
+        self.min_threads = min(self.min_threads, thread_level)
+        self.max_threads = max(self.max_threads, thread_level)
+
+
+@dataclass
+class AdjustmentHistory:
+    """Ordered log of threading-model adjustments.
+
+    Only the most recent record is consulted for skip decisions (as in
+    the paper); the full log is retained for the SASO analysis and for
+    the reports in the benchmark harness.
+    """
+
+    records: List[AdjustmentRecord] = field(default_factory=list)
+
+    @property
+    def last(self) -> Optional[AdjustmentRecord]:
+        return self.records[-1] if self.records else None
+
+    def create_entry(
+        self, placement: QueuePlacement, thread_level: int
+    ) -> AdjustmentRecord:
+        """New record after a CHANGE decision (placement changed)."""
+        record = AdjustmentRecord(
+            placement=placement,
+            min_threads=thread_level,
+            max_threads=thread_level,
+        )
+        self.records.append(record)
+        return record
+
+    def update_entry(self, thread_level: int) -> None:
+        """Extend the current record after a STAY decision."""
+        if not self.records:
+            raise RuntimeError(
+                "update_entry called with no history record; a STAY "
+                "decision requires a prior CHANGE"
+            )
+        self.records[-1].extend(thread_level)
+
+    def direction_for(self, thread_level: int) -> Direction:
+        """Skip decision for a new thread level (NONE if no history)."""
+        if not self.records:
+            return Direction.UP
+        return self.records[-1].to_continue(thread_level)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,122 @@
+"""SASO property analysis over adaptation traces (§1, §4.4).
+
+The paper's control algorithm claims the classic SASO guarantees from
+feedback control of computing systems (Hellerstein et al.):
+
+- **Stability** — no oscillation between configurations once settled;
+- **Accuracy** — the converged throughput is close to the best
+  achievable configuration;
+- **Settling time** — a stable configuration is reached quickly;
+- **Overshoot avoidance** — no more threads are used than necessary.
+
+This module turns those informal claims into measurable properties of
+an :class:`~repro.runtime.events.AdaptationTrace`, so benchmarks and
+tests can assert them the way §4.4 argues them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..runtime.events import AdaptationTrace
+
+
+@dataclass(frozen=True)
+class SasoReport:
+    """Quantified SASO properties of one adaptation run."""
+
+    stability_oscillations: int
+    stability_ok: bool
+    accuracy_ratio: Optional[float]
+    settling_time_s: float
+    settled_fraction: float
+    overshoot_threads: int
+    max_threads_used: int
+    final_threads: int
+
+    def summary(self) -> str:
+        acc = (
+            f"{self.accuracy_ratio:.2f}"
+            if self.accuracy_ratio is not None
+            else "n/a"
+        )
+        return (
+            f"stability: {self.stability_oscillations} oscillations "
+            f"({'ok' if self.stability_ok else 'VIOLATED'}) | "
+            f"accuracy: {acc} of reference | "
+            f"settling: {self.settling_time_s:.0f}s "
+            f"({self.settled_fraction:.0%} of run settled) | "
+            f"overshoot: max {self.max_threads_used} vs final "
+            f"{self.final_threads} threads (+{self.overshoot_threads})"
+        )
+
+
+def count_oscillations(
+    series: Sequence[Tuple[float, int]], after_s: float
+) -> int:
+    """Count repeated returns to configuration values after ``after_s``.
+
+    The "no oscillation between adjustments" criterion tolerates the
+    explore-and-revert pattern — a controller may try a value once and
+    come back (two visits: the stay before/after the excursion).  A
+    value visited a *third* time indicates ping-ponging between
+    configurations that past observations should have ruled out.
+    Values observed during the exploration window (before ``after_s``)
+    are exempt.
+    """
+    visits: dict = {}
+    current: Optional[int] = None
+    for time_s, value in series:
+        if time_s < after_s:
+            continue
+        if value != current:
+            visits[value] = visits.get(value, 0) + 1
+            current = value
+    return sum(max(0, n - 2) for n in visits.values())
+
+
+def analyze(
+    trace: AdaptationTrace,
+    reference_throughput: Optional[float] = None,
+    settle_tolerance: float = 0.05,
+) -> SasoReport:
+    """Compute the SASO report for ``trace``.
+
+    ``reference_throughput`` is the best known throughput for the same
+    workload (e.g. an oracle sweep or hand-optimized configuration); the
+    accuracy ratio is ``converged / reference``.
+    """
+    settling = trace.settling_time(tolerance=settle_tolerance)
+    duration = trace.duration_s
+    settled_fraction = (
+        1.0 - settling / duration if duration > 0 else 0.0
+    )
+
+    # Stability: once settled, neither threads nor queue counts should
+    # revisit abandoned values.
+    thread_osc = count_oscillations(trace.thread_series(), settling)
+    queue_osc = count_oscillations(trace.queue_series(), settling)
+    oscillations = thread_osc + queue_osc
+
+    converged = trace.final_throughput()
+    accuracy = (
+        converged / reference_throughput
+        if reference_throughput
+        else None
+    )
+
+    final_threads = trace.final_threads()
+    max_threads = trace.max_threads_used()
+    overshoot = max(0, max_threads - final_threads)
+
+    return SasoReport(
+        stability_oscillations=oscillations,
+        stability_ok=oscillations == 0,
+        accuracy_ratio=accuracy,
+        settling_time_s=settling,
+        settled_fraction=settled_fraction,
+        overshoot_threads=overshoot,
+        max_threads_used=max_threads,
+        final_threads=final_threads,
+    )

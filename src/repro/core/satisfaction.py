@@ -1,0 +1,82 @@
+"""Satisfaction factor (§3.3, second optimization).
+
+"If the primary adjustment (thread count) alone can improve the
+performance by a significant amount, the secondary adjustment (threading
+model) can be skipped unless the thread count alters again."
+
+The paper's skip condition is::
+
+    (currThroughput / prevThroughput - 1) > sf * (newThreadCount / prevThreadCount - 1)
+
+We expose the measured satisfaction factor as the ratio of relative
+throughput gain to relative thread gain; the coordinator compares it to
+the configured threshold THRE:
+
+- measured sf >= THRE  -> thread count change already "paid for itself";
+  skip the threading model adjustment,
+- measured sf <  THRE  -> the gain was disappointing; consult the
+  history record and possibly run the threading model elasticity.
+
+With THRE = 0 the secondary adjustment only triggers when throughput
+*drops* as threads increase (the paper's Fig. 6(d) behaviour); with
+THRE = 1 it triggers unless throughput scaled at least linearly with
+threads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SatisfactionSample:
+    """Inputs of one satisfaction evaluation."""
+
+    prev_throughput: float
+    curr_throughput: float
+    prev_threads: int
+    new_threads: int
+
+    def __post_init__(self) -> None:
+        if self.prev_threads < 1 or self.new_threads < 1:
+            raise ValueError("thread counts must be >= 1")
+        if self.prev_throughput < 0 or self.curr_throughput < 0:
+            raise ValueError("throughputs must be >= 0")
+
+
+def measured_satisfaction(sample: SatisfactionSample) -> float:
+    """Relative throughput gain per relative thread gain.
+
+    Returns ``+inf`` when threads did not change but throughput improved
+    (free win — certainly satisfied) and ``-inf`` when threads did not
+    change but throughput dropped.
+    """
+    if sample.prev_throughput == 0.0:
+        return math.inf if sample.curr_throughput > 0.0 else 0.0
+    perf_gain = sample.curr_throughput / sample.prev_throughput - 1.0
+    thread_gain = sample.new_threads / sample.prev_threads - 1.0
+    if thread_gain == 0.0:
+        if perf_gain > 0.0:
+            return math.inf
+        if perf_gain < 0.0:
+            return -math.inf
+        return 0.0
+    return perf_gain / thread_gain
+
+
+def should_skip_secondary(
+    sample: SatisfactionSample, threshold: float
+) -> bool:
+    """True when the threading model adjustment should be skipped.
+
+    Implements the paper's inequality.  For thread *decreases* the
+    relative thread gain is negative; dividing flips the inequality, so
+    we evaluate the paper's original form directly instead of comparing
+    the ratio: skip iff ``perf_gain > threshold * thread_gain``.
+    """
+    if sample.prev_throughput == 0.0:
+        return sample.curr_throughput > 0.0
+    perf_gain = sample.curr_throughput / sample.prev_throughput - 1.0
+    thread_gain = sample.new_threads / sample.prev_threads - 1.0
+    return perf_gain > threshold * thread_gain

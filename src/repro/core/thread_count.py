@@ -1,0 +1,263 @@
+"""Thread count elasticity (the pre-existing component, after [20]).
+
+Re-implementation of the level-based elastic thread scheduler the paper
+inherits from Streams 4.2 (Schneider & Wu, PLDI '17): the controller
+monitors total throughput and adjusts the number of scheduler threads to
+maximize it.
+
+Search strategy:
+
+1. **EXPLORE** — geometric ascent.  Starting from the minimum thread
+   count, double the count while each change yields a significant
+   (> SENS) throughput improvement, capping at the maximum.  If the
+   first probe after a restart degrades, probe downward once before
+   refining (workloads can shrink, Fig. 13 in reverse).
+2. **REFINE** — binary search between the last good and the first bad
+   level, until the step is within the refinement granularity
+   (max(1, 10 % of the level), so large counts don't dither thread by
+   thread — matching the paper's coarse final adjustments, e.g.
+   96 -> 80).
+3. **SETTLED** — propose no changes until the coordinator resets the
+   controller (workload change detected).
+
+The controller is event-driven: :meth:`propose` is called once per
+adaptation period with the throughput observed under the *current*
+count and returns the next count to try, or ``None`` when settled.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from .metrics import significantly_better
+
+
+class _Phase(enum.Enum):
+    EXPLORE = "explore"
+    PROBE_DOWN = "probe_down"
+    REFINE = "refine"
+    SETTLED = "settled"
+
+
+class ThreadCountElasticity:
+    """Elastic controller for the number of scheduler threads."""
+
+    def __init__(
+        self,
+        min_threads: int = 1,
+        max_threads: int = 16,
+        initial_threads: Optional[int] = None,
+        sens: float = 0.05,
+    ) -> None:
+        if min_threads < 1:
+            raise ValueError(f"min_threads must be >= 1, got {min_threads}")
+        if max_threads < min_threads:
+            raise ValueError(
+                f"max_threads ({max_threads}) < min_threads ({min_threads})"
+            )
+        self.min_threads = min_threads
+        self.max_threads = max_threads
+        self.sens = sens
+        self.level = (
+            initial_threads if initial_threads is not None else min_threads
+        )
+        if not min_threads <= self.level <= max_threads:
+            raise ValueError(
+                f"initial_threads {self.level} outside "
+                f"[{min_threads}, {max_threads}]"
+            )
+        self._phase = _Phase.EXPLORE
+        self._measurements: Dict[int, float] = {}
+        self._prev_level: Optional[int] = None
+        self._refine_lo = self.min_threads
+        self._refine_hi = self.max_threads
+        self._restart_anchor: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def settled(self) -> bool:
+        return self._phase is _Phase.SETTLED
+
+    @property
+    def current(self) -> int:
+        return self.level
+
+    def measurement(self, level: int) -> Optional[float]:
+        return self._measurements.get(level)
+
+    # ------------------------------------------------------------------
+    def rebase(self, throughput: float) -> None:
+        """Refresh the measurement at the current level.
+
+        Called by the coordinator after a threading model change: older
+        measurements were taken under a different placement and must not
+        dominate comparisons.
+        """
+        self._measurements[self.level] = throughput
+
+    def reset(self) -> None:
+        """Restart exploration from the current level (workload change)."""
+        self._phase = _Phase.EXPLORE
+        self._measurements.clear()
+        self._prev_level = None
+        self._restart_anchor = self.level
+
+    # ------------------------------------------------------------------
+    def _granularity(self, level: int) -> int:
+        return max(1, round(level * 0.1))
+
+    def _next_up(self, level: int) -> int:
+        return min(self.max_threads, max(level + 1, level * 2))
+
+    def _knee_level(self) -> int:
+        """Lowest measured level within SENS of the best measurement."""
+        best = max(self._measurements.values())
+        return min(
+            lv
+            for lv, t in self._measurements.items()
+            if not significantly_better(best, t, self.sens)
+        )
+
+    def _settle_at_best(self) -> Optional[int]:
+        """Settle on the LOWEST level within SENS of the best measured.
+
+        Picking the raw argmax would burn threads for statistically
+        insignificant gains; choosing the smallest equivalent level is
+        the SASO overshoot-avoidance property ("does not use more
+        threads than necessary").
+        """
+        best_throughput = max(self._measurements.values())
+        candidates = [
+            lv
+            for lv, t in self._measurements.items()
+            if not significantly_better(best_throughput, t, self.sens)
+        ]
+        best = min(candidates)
+        self._phase = _Phase.SETTLED
+        if best != self.level:
+            self._prev_level = self.level
+            self.level = best
+            return best
+        return None
+
+    def propose(self, observed: float) -> Optional[int]:
+        """Record ``observed`` for the current level, return next level.
+
+        Returns ``None`` when no change is proposed this period (settled
+        or just settled onto the current level).
+        """
+        if observed < 0:
+            raise ValueError(f"observed throughput must be >= 0: {observed}")
+        self._measurements[self.level] = observed
+
+        if self._phase is _Phase.SETTLED:
+            return None
+
+        if self._phase is _Phase.EXPLORE:
+            prev = self._prev_level
+            if prev is None:
+                # First measurement at the starting level: probe upward
+                # if possible.  Already at the ceiling (e.g. a restart
+                # triggered while holding max threads): probe downward
+                # instead — settling at max unexamined would bake in
+                # overshoot.
+                if self.level >= self.max_threads:
+                    if self.level <= self.min_threads:
+                        self._phase = _Phase.SETTLED
+                        return None
+                    self._phase = _Phase.PROBE_DOWN
+                    self._restart_anchor = self.level
+                    self._prev_level = self.level
+                    self.level = max(self.min_threads, self.level // 2)
+                    return self.level
+                self._prev_level = self.level
+                self.level = self._next_up(self.level)
+                return self.level
+            prev_throughput = self._measurements[prev]
+            degraded = significantly_better(
+                prev_throughput, observed, self.sens
+            )
+            if not degraded:
+                # Better OR flat: keep climbing.  Flat matters: extra
+                # scheduler threads with no queues to serve are idle
+                # and free (Fig. 5(a)), and a later threading-model
+                # adjustment may need them — giving up on the first
+                # flat step would trap the system at minimum
+                # parallelism on multi-source graphs.  Overshoot is
+                # reclaimed at settle time (lowest level within SENS
+                # of the best).
+                if self.level >= self.max_threads:
+                    # Geometric steps may have jumped over the peak on
+                    # a flat shoulder; refine between the knee and the
+                    # ceiling before settling.
+                    knee = self._knee_level()
+                    if self.max_threads - knee > self._granularity(
+                        self.max_threads
+                    ):
+                        self._refine_lo = knee
+                        self._refine_hi = self.max_threads
+                        return self._refine_step()
+                    return self._settle_at_best()
+                self._prev_level = self.level
+                self.level = self._next_up(self.level)
+                return self.level
+            # The latest move significantly degraded throughput.
+            if (
+                self._restart_anchor is not None
+                and self.level > self._restart_anchor
+                and self._restart_anchor > self.min_threads
+            ):
+                # Restarted exploration went up and failed; the workload
+                # may have shrunk -- probe below the anchor once.
+                self._phase = _Phase.PROBE_DOWN
+                self._prev_level = self.level
+                self.level = max(
+                    self.min_threads, self._restart_anchor // 2
+                )
+                return self.level
+            # Refine between the knee (the lowest level already within
+            # SENS of the best measurement -- flat climbing may have
+            # sailed past the peak on a flat shoulder) and the level
+            # that degraded.
+            self._refine_lo = min(self._knee_level(), self.level)
+            self._refine_hi = max(self._knee_level(), self.level)
+            return self._refine_step()
+
+        if self._phase is _Phase.PROBE_DOWN:
+            anchor = self._restart_anchor
+            assert anchor is not None
+            anchor_throughput = self._measurements.get(anchor, 0.0)
+            if significantly_better(observed, anchor_throughput, self.sens):
+                # Shrinking helped: refine between min and the anchor.
+                self._refine_lo = self.min_threads
+                self._refine_hi = anchor
+                self._phase = _Phase.REFINE
+                return self._refine_step()
+            return self._settle_at_best()
+
+        # REFINE
+        return self._refine_step()
+
+    def _refine_step(self) -> Optional[int]:
+        """One binary-search move between _refine_lo and _refine_hi."""
+        self._phase = _Phase.REFINE
+        lo, hi = self._refine_lo, self._refine_hi
+        gran = self._granularity(hi)
+        # Narrow using the freshest data for the midpoint we last tried.
+        if self.level != lo and self.level != hi and lo < self.level < hi:
+            t_mid = self._measurements.get(self.level)
+            t_lo = self._measurements.get(lo)
+            if t_mid is not None and t_lo is not None:
+                if significantly_better(t_mid, t_lo, self.sens):
+                    self._refine_lo = lo = self.level
+                else:
+                    self._refine_hi = hi = self.level
+        if hi - lo <= gran:
+            return self._settle_at_best()
+        mid = (lo + hi) // 2
+        if mid == self.level or mid in self._measurements:
+            return self._settle_at_best()
+        self._prev_level = self.level
+        self.level = mid
+        return mid

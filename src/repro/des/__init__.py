@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate (tuple-level validation)."""
+
+from .adaptation import DesAdaptationResult, DesAdaptationRunner
+from .engine import DesEngine, DesResult, measure_throughput
+from .kernel import (
+    Acquire,
+    Get,
+    Put,
+    Release,
+    Request,
+    SimLock,
+    SimQueue,
+    Simulator,
+    Timeout,
+)
+
+__all__ = [
+    "DesAdaptationResult",
+    "DesAdaptationRunner",
+    "DesEngine",
+    "DesResult",
+    "measure_throughput",
+    "Acquire",
+    "Get",
+    "Put",
+    "Release",
+    "Request",
+    "SimLock",
+    "SimQueue",
+    "Simulator",
+    "Timeout",
+]

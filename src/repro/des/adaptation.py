@@ -1,0 +1,190 @@
+"""Adaptation loop driven by the discrete-event simulator.
+
+Everything in :mod:`repro.core` is substrate-agnostic; this module
+closes the loop on the *tuple-level* substrate: each adaptation period
+is measured by actually executing the configured PE in the DES engine,
+and the coordinator's configuration changes apply to the next period.
+
+Reconfiguration semantics: the real runtime migrates queues in place;
+here each period runs a freshly instantiated engine (with a short
+warm-up excluded from measurement), which models the paper's
+observation that measurements right after a change are transient —
+the warm-up plays the role of the settling the adaptation period
+allows before the throughput is read.
+
+Because tuple-level simulation is orders of magnitude more expensive
+than the analytical model, this runner is meant for small graphs
+(tens of operators) — validation and demonstration, not the
+large-scale figure sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.binning import ProfilingGroup, build_groups
+from ..core.coordinator import MultiLevelCoordinator
+from ..core.profiler import SamplingProfiler
+from ..graph.model import StreamGraph
+from ..perfmodel.machine import MachineProfile
+from ..runtime.config import RuntimeConfig
+from ..runtime.events import (
+    AdaptationTrace,
+    Observation,
+    PlacementChange,
+    ThreadCountChange,
+)
+from ..runtime.queues import QueuePlacement
+from .engine import DesEngine
+
+
+@dataclass(frozen=True)
+class DesAdaptationResult:
+    """Outcome of a DES-driven elastic run."""
+
+    trace: AdaptationTrace
+    final_placement: QueuePlacement
+    final_threads: int
+    converged_throughput: float
+
+
+class DesAdaptationRunner:
+    """Runs the multi-level coordinator against the DES engine."""
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        machine: MachineProfile,
+        config: Optional[RuntimeConfig] = None,
+        warmup_s: float = 0.002,
+        measure_s: float = 0.01,
+        queue_capacity: int = 16,
+        workload_events: Optional[
+            List[tuple]
+        ] = None,  # [(time_s, StreamGraph)]
+        profile_from_execution: bool = False,
+    ) -> None:
+        self.graph = graph
+        self._workload_events = sorted(
+            workload_events or [], key=lambda ev: ev[0]
+        )
+        self.profile_from_execution = profile_from_execution
+        self.machine = machine
+        self.config = config if config is not None else RuntimeConfig()
+        self.warmup_s = warmup_s
+        self.measure_s = measure_s
+        self.queue_capacity = queue_capacity
+        self._profiler = SamplingProfiler(
+            machine,
+            n_samples=self.config.elasticity.profiling_samples,
+            seed=self.config.seed + 1,
+        )
+        self.coordinator = MultiLevelCoordinator(
+            config=self.config.elasticity,
+            max_threads=self.config.effective_max_threads,
+            profile_provider=self._profile_groups,
+            seed=self.config.seed,
+        )
+        self.placement = QueuePlacement.empty()
+        self.threads = self.config.elasticity.initial_threads
+
+    def _profile_groups(self) -> List[ProfilingGroup]:
+        if self.profile_from_execution:
+            # The paper's actual mechanism: run the current
+            # configuration and let the profiler thread snapshot the
+            # per-thread state variables during execution.
+            engine = DesEngine(
+                self.graph,
+                self.machine,
+                self.placement,
+                self.threads,
+                queue_capacity=self.queue_capacity,
+            )
+            profiler = engine.attach_profiler(
+                period_s=self.measure_s / 400.0
+            )
+            engine.run(warmup_s=self.warmup_s, measure_s=self.measure_s)
+            return build_groups(
+                self.graph, profiler.profile(len(self.graph))
+            )
+        return build_groups(self.graph, self._profiler.profile(self.graph))
+
+    # ------------------------------------------------------------------
+    def measure(self) -> float:
+        """One adaptation period: execute the current configuration."""
+        engine = DesEngine(
+            self.graph,
+            self.machine,
+            self.placement,
+            self.threads,
+            queue_capacity=self.queue_capacity,
+        )
+        result = engine.run(
+            warmup_s=self.warmup_s, measure_s=self.measure_s
+        )
+        return result.sink_tuples_per_s
+
+    def run(
+        self,
+        max_periods: int = 120,
+        stop_after_stable_periods: Optional[int] = 8,
+    ) -> DesAdaptationResult:
+        """Drive the adaptation loop for up to ``max_periods`` periods."""
+        period_s = self.config.elasticity.adaptation_period_s
+        trace = AdaptationTrace.empty()
+        stable_streak = 0
+        events = list(self._workload_events)
+        for k in range(1, max_periods + 1):
+            time_s = k * period_s
+            while events and events[0][0] <= time_s:
+                _, new_graph = events.pop(0)
+                self.placement.validate(new_graph)
+                self.graph = new_graph
+            observed = self.measure()
+            trace.observations.append(
+                Observation(
+                    time_s=time_s,
+                    throughput=observed,
+                    true_throughput=observed,
+                    threads=self.threads,
+                    n_queues=self.placement.n_queues,
+                    mode=self.coordinator.mode.value,
+                )
+            )
+            action = self.coordinator.step(observed)
+            if action.set_threads is not None and (
+                action.set_threads != self.threads
+            ):
+                trace.thread_changes.append(
+                    ThreadCountChange(
+                        time_s=time_s,
+                        old_threads=self.threads,
+                        new_threads=action.set_threads,
+                    )
+                )
+                self.threads = action.set_threads
+            if action.set_placement is not None and (
+                action.set_placement.queued != self.placement.queued
+            ):
+                trace.placement_changes.append(
+                    PlacementChange(
+                        time_s=time_s,
+                        old_n_queues=self.placement.n_queues,
+                        new_n_queues=action.set_placement.n_queues,
+                    )
+                )
+                self.placement = action.set_placement
+            if stop_after_stable_periods is not None and not events:
+                if self.coordinator.is_stable:
+                    stable_streak += 1
+                    if stable_streak >= stop_after_stable_periods:
+                        break
+                else:
+                    stable_streak = 0
+        return DesAdaptationResult(
+            trace=trace,
+            final_placement=self.placement,
+            final_threads=self.threads,
+            converged_throughput=trace.final_throughput(window=4),
+        )

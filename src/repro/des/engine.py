@@ -1,0 +1,397 @@
+"""Tuple-level discrete-event simulation of a processing element.
+
+This is the validation substrate: where :mod:`repro.perfmodel` computes
+steady-state throughput analytically, the DES engine *executes* the PE
+tuple by tuple — threads contend for cores, scheduler queues exert
+backpressure, locks serialize, work-finding scans cost time — and
+measures throughput at the sinks.  Tests use it to confirm the
+analytical model's qualitative claims (ordering of configurations,
+contention effects) on small graphs.
+
+Execution semantics (mirroring §2.1):
+
+- each **source** operator is driven by a dedicated operator thread that
+  repeatedly executes the source's manual region, one source tuple per
+  iteration;
+- each **scheduler thread** loops: acquire a core, scan the queue list
+  (cost grows with queue count), pop from the first non-empty queue
+  (round-robin start), execute that queued region, release the core;
+- executing a region advances time by the member operators' costs,
+  acquires operator-internal locks where declared, and pushes tuples
+  into downstream scheduler queues (copy + synchronization cost,
+  blocking when the queue is full);
+- cores are a token pool: at most ``machine.logical_cores`` threads make
+  progress at once.
+
+Fractional selectivities are handled in expectation: per entry tuple a
+region charges ``rate/entry_rate`` executions of each member operator,
+and accumulates fractional push credits, emitting whole tuples as the
+credit crosses one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..graph.model import StreamGraph
+from ..perfmodel.machine import MachineProfile
+from ..runtime.queues import QueuePlacement
+from ..runtime.regions import Region, decompose
+from ..runtime.threads import SnapshotProfiler, ThreadRegistry
+from .kernel import (
+    Acquire,
+    Get,
+    Put,
+    Release,
+    Request,
+    SimLock,
+    SimQueue,
+    Simulator,
+    Timeout,
+)
+
+_TOKEN = object()
+_IDLE_BACKOFF_S = 2.0e-6
+
+
+@dataclass(frozen=True)
+class DesResult:
+    """Throughput measurement from one DES run."""
+
+    sink_tuples_per_s: float
+    source_tuples_per_s: float
+    measured_window_s: float
+    sink_tuples: float
+    queue_occupancy: Tuple[Tuple[int, int], ...]
+    thread_busy_fraction: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average busy fraction over all threads (0 when unknown)."""
+        if not self.thread_busy_fraction:
+            return 0.0
+        return sum(f for _n, f in self.thread_busy_fraction) / len(
+            self.thread_busy_fraction
+        )
+
+
+class DesEngine:
+    """One configured PE, executable under the DES kernel."""
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        machine: MachineProfile,
+        placement: QueuePlacement,
+        scheduler_threads: int,
+        queue_capacity: int = 16,
+    ) -> None:
+        if scheduler_threads < 0:
+            raise ValueError(
+                f"scheduler_threads must be >= 0, got {scheduler_threads}"
+            )
+        self.graph = graph
+        self.machine = machine
+        self.placement = placement
+        self.scheduler_threads = scheduler_threads
+        self.queue_capacity = queue_capacity
+        self.decomposition = decompose(graph, placement)
+
+        self.sim = Simulator()
+        self._queues: Dict[int, SimQueue] = {
+            idx: SimQueue(capacity=queue_capacity, name=f"q{idx}")
+            for idx in placement
+        }
+        self._queue_order: List[int] = sorted(self._queues)
+        self._op_locks: Dict[int, SimLock] = {
+            op.index: SimLock(name=f"lock:{op.name}")
+            for op in graph
+            if op.uses_lock
+        }
+        # Port protection: at most one thread executes a queued region
+        # at a time (§2.1's scheduler queues serialize access to the
+        # operator's input port), matching the analytical model's
+        # serial-region assumption.
+        self._region_locks: Dict[int, SimLock] = {
+            idx: SimLock(name=f"port:{idx}") for idx in placement
+        }
+        self._core_pool = SimQueue(
+            capacity=max(1, machine.logical_cores), name="cores"
+        )
+        self._push_credit: Dict[Tuple[int, int], float] = {}
+        self._sink_count = 0.0
+        self._source_count = 0.0
+        self._busy_s: Dict[str, float] = {}
+        self._region_by_entry: Dict[int, Region] = {
+            r.entry: r for r in self.decomposition.regions
+        }
+        # The paper's per-thread state variable: threads publish the
+        # operator they are executing; a profiler process may snapshot.
+        self.registry = ThreadRegistry()
+        self.profiler: Optional[SnapshotProfiler] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # process bodies
+    # ------------------------------------------------------------------
+    def _region_work(
+        self,
+        region: Region,
+        count_source: bool,
+        thread_name: str = "?",
+    ) -> Generator[Request, object, None]:
+        """Execute one entry tuple's worth of a region."""
+        machine = self.machine
+        graph = self.graph
+
+        def busy(dt: float) -> float:
+            self._busy_s[thread_name] = (
+                self._busy_s.get(thread_name, 0.0) + dt
+            )
+            return dt
+        scale = 1.0 / region.entry_rate if region.entry_rate > 0 else 0.0
+        for op_idx, rate in region.op_rates:
+            n = rate * scale
+            if n <= 0.0:
+                continue
+            self.registry.set_current(thread_name, op_idx)
+            op = graph.operator(op_idx)
+            dt = n * (
+                machine.flop_time(op.cost_flops)
+                + machine.call_overhead_s
+                + machine.submit_overhead_s * op.selectivity
+            )
+            lock = self._op_locks.get(op_idx)
+            if lock is not None:
+                yield Acquire(lock)
+                yield Timeout(busy(dt + machine.lock_uncontended_s))
+                yield Release(lock)
+            else:
+                yield Timeout(busy(dt))
+            if op.is_sink:
+                self._sink_count += n
+        if count_source:
+            self._source_count += 1.0
+        self.registry.set_current(thread_name, None)
+        for queue_op, push_rate in region.push_rates:
+            credit_key = (region.entry, queue_op)
+            credit = self._push_credit.get(credit_key, 0.0) + push_rate * scale
+            queue = self._queues[queue_op]
+            while credit >= 1.0:
+                yield Timeout(
+                    busy(
+                        machine.copy_time(graph.tuple_spec.payload_bytes)
+                        + machine.lock_uncontended_s
+                    )
+                )
+                yield from self._push_with_help(
+                    queue_op, queue, thread_name
+                )
+                credit -= 1.0
+            self._push_credit[credit_key] = credit
+
+    def _push_with_help(
+        self, queue_op: int, queue: SimQueue, thread_name: str = "?"
+    ) -> Generator[Request, object, None]:
+        """Push one tuple, executing the consumer inline on backpressure.
+
+        If every producer simply blocked on a full queue while holding a
+        core, a PE could deadlock (e.g. all scheduler threads blocked
+        pushing into a full sink queue that only scheduler threads can
+        drain).  Real streaming runtimes resolve backpressure by letting
+        the pushing thread execute downstream work; we do the same:
+        while the target queue is full, pop one tuple and run the
+        consumer region ourselves, then enqueue our own tuple.
+
+        The emptiness/fullness checks are authoritative because the
+        kernel handles a yielded request synchronously: no other process
+        can run between our check and the corresponding Put.
+        """
+        consumer = self._region_by_entry[queue_op]
+        while queue.is_full:
+            port = self._region_locks[queue_op]
+            yield Acquire(port)
+            if queue.is_empty:
+                # Another thread drained it while we waited.
+                yield Release(port)
+                break
+            self.sim.pop_nowait(queue)
+            yield Timeout(self.machine.lock_uncontended_s)
+            yield from self._region_work(
+                consumer, count_source=False, thread_name=thread_name
+            )
+            yield Release(port)
+        yield Put(queue, _TOKEN)
+
+    def _source_thread(self, region: Region) -> Generator[Request, object, None]:
+        source_op = self.graph.operator(region.entry)
+        min_interval = (
+            1.0 / source_op.max_rate
+            if source_op.max_rate is not None
+            else 0.0
+        )
+        next_emit = self.sim.now
+        while True:
+            if min_interval:
+                # External arrival pacing (e.g. NIC line rate): wait
+                # until the next tuple is due before competing for a
+                # core.
+                wait = next_emit - self.sim.now
+                if wait > 0:
+                    yield Timeout(wait)
+                next_emit = max(next_emit + min_interval,
+                                self.sim.now)
+            yield Get(self._core_pool)
+            yield from self._region_work(
+                region,
+                count_source=True,
+                thread_name=f"src:{region.entry}",
+            )
+            yield Put(self._core_pool, _TOKEN)
+
+    def _scheduler_thread(
+        self, thread_id: int
+    ) -> Generator[Request, object, None]:
+        cursor = thread_id  # stagger round-robin start positions
+        name = f"sched:{thread_id}"
+        n = len(self._queue_order)
+        while True:
+            yield Get(self._core_pool)
+            # The scan costs simulated time either way, but only a scan
+            # that finds work counts toward the thread's *busy* time --
+            # a starving thread polling empty queues is idle for
+            # utilization purposes (real runtimes park such threads).
+            scan = self.machine.scan_time(n)
+            yield Timeout(scan)
+            found: Optional[int] = None
+            for i in range(n):
+                candidate = self._queue_order[(cursor + i) % n]
+                if (
+                    not self._queues[candidate].is_empty
+                    and self._region_locks[candidate].held_by is None
+                ):
+                    # Non-empty and nobody executing its region: claim.
+                    found = candidate
+                    cursor = (cursor + i + 1) % n
+                    break
+            if found is None:
+                yield Put(self._core_pool, _TOKEN)
+                yield Timeout(_IDLE_BACKOFF_S)
+                continue
+            port = self._region_locks[found]
+            yield Acquire(port)
+            if self._queues[found].is_empty:
+                yield Release(port)
+                yield Put(self._core_pool, _TOKEN)
+                continue
+            self.sim.pop_nowait(self._queues[found])
+            self._busy_s[name] = (
+                self._busy_s.get(name, 0.0)
+                + scan
+                + self.machine.lock_uncontended_s
+            )
+            yield Timeout(self.machine.lock_uncontended_s)
+            region = self._region_by_entry[found]
+            yield from self._region_work(
+                region, count_source=False, thread_name=name
+            )
+            yield Release(port)
+            yield Put(self._core_pool, _TOKEN)
+
+    # ------------------------------------------------------------------
+    def attach_profiler(
+        self, period_s: float = 1.0e-4
+    ) -> SnapshotProfiler:
+        """Attach the paper's profiler thread: a process that snapshots
+        every registered thread's current operator each ``period_s``.
+
+        Must be called before :meth:`start`.  Returns the profiler whose
+        counters accumulate for the run's lifetime.
+        """
+        if self._started:
+            raise RuntimeError("attach_profiler must precede start()")
+        if self.profiler is not None:
+            return self.profiler
+        self.profiler = SnapshotProfiler(self.registry)
+
+        def profiler_proc():
+            while True:
+                yield Timeout(period_s)
+                self.profiler.sample()
+
+        self._profiler_period = period_s
+        self._profiler_proc = profiler_proc
+        return self.profiler
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("engine already started")
+        self._started = True
+        for _ in range(self._core_pool.capacity):
+            self._core_pool.items.append(_TOKEN)
+        self.registry.register("?")
+        for region in self.decomposition.source_regions:
+            self.registry.register(f"src:{region.entry}")
+            name = f"src-thread:{region.entry}"
+            self.sim.spawn(self._source_thread(region), name=name)
+        if self._queues:
+            for tid in range(self.scheduler_threads):
+                self.registry.register(f"sched:{tid}")
+                self.sim.spawn(
+                    self._scheduler_thread(tid), name=f"sched:{tid}"
+                )
+        if self.profiler is not None:
+            self.sim.spawn(self._profiler_proc(), name="profiler")
+
+    # ------------------------------------------------------------------
+    def run(
+        self, warmup_s: float = 0.002, measure_s: float = 0.01
+    ) -> DesResult:
+        """Warm up, then measure throughput over ``measure_s``."""
+        if not self._started:
+            self.start()
+        self.sim.run_until(self.sim.now + warmup_s)
+        self._sink_count = 0.0
+        self._source_count = 0.0
+        self._busy_s.clear()
+        start = self.sim.now
+        self.sim.run_until(start + measure_s)
+        window = self.sim.now - start
+        occupancy = tuple(
+            (idx, len(q)) for idx, q in sorted(self._queues.items())
+        )
+        busy = tuple(
+            (name, min(1.0, t / window) if window else 0.0)
+            for name, t in sorted(self._busy_s.items())
+        )
+        return DesResult(
+            sink_tuples_per_s=self._sink_count / window if window else 0.0,
+            source_tuples_per_s=(
+                self._source_count / window if window else 0.0
+            ),
+            measured_window_s=window,
+            sink_tuples=self._sink_count,
+            queue_occupancy=occupancy,
+            thread_busy_fraction=busy,
+        )
+
+
+def measure_throughput(
+    graph: StreamGraph,
+    machine: MachineProfile,
+    placement: QueuePlacement,
+    scheduler_threads: int,
+    warmup_s: float = 0.002,
+    measure_s: float = 0.01,
+    queue_capacity: int = 16,
+) -> DesResult:
+    """Convenience wrapper: build, run and measure one configuration."""
+    engine = DesEngine(
+        graph,
+        machine,
+        placement,
+        scheduler_threads,
+        queue_capacity=queue_capacity,
+    )
+    return engine.run(warmup_s=warmup_s, measure_s=measure_s)

@@ -1,0 +1,240 @@
+"""A from-scratch discrete-event simulation kernel.
+
+Implements the minimal process-interaction style needed by the PE
+engine (:mod:`repro.des.engine`): processes are Python generators that
+yield *requests* to the simulator —
+
+- :class:`Timeout` — advance this process by a simulated delay,
+- :class:`Get` / :class:`Put` — blocking pop/push on a bounded
+  :class:`SimQueue` (the scheduler queues),
+- :class:`Acquire` / :class:`Release` — FIFO mutual exclusion on a
+  :class:`SimLock` (operator-internal locks, core slots).
+
+The kernel is deterministic: events at equal timestamps are ordered by
+insertion sequence.  No wall-clock access anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+from collections import deque
+
+Process = Generator["Request", Any, None]
+
+
+class Request:
+    """Base class of everything a process may yield."""
+
+
+@dataclass(frozen=True)
+class Timeout(Request):
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout: {self.delay}")
+
+
+@dataclass(frozen=True)
+class Get(Request):
+    queue: "SimQueue"
+
+
+@dataclass(frozen=True)
+class Put(Request):
+    queue: "SimQueue"
+    item: Any
+
+
+@dataclass(frozen=True)
+class Acquire(Request):
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class Release(Request):
+    lock: "SimLock"
+
+
+class SimQueue:
+    """Bounded FIFO queue with blocking put/get.
+
+    Backpressure is the point: a full queue blocks its producer, which
+    is how the real runtime's finite scheduler queues throttle upstream
+    regions.
+    """
+
+    def __init__(self, capacity: int = 64, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self.getters: Deque["_Task"] = deque()
+        self.putters: Deque[Tuple["_Task", Any]] = deque()
+        self.total_put = 0
+        self.total_got = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+
+class SimLock:
+    """FIFO lock."""
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self.held_by: Optional["_Task"] = None
+        self.waiters: Deque["_Task"] = deque()
+        self.acquisitions = 0
+
+
+@dataclass
+class _Task:
+    """Bookkeeping for one running process."""
+
+    process: Process
+    name: str
+    alive: bool = True
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._tasks: List[_Task] = []
+
+    # ------------------------------------------------------------------
+    def spawn(self, process: Process, name: str = "proc") -> _Task:
+        """Register a generator process; it starts at the current time."""
+        task = _Task(process=process, name=name)
+        self._tasks.append(task)
+        self._schedule(0.0, lambda: self._advance(task, None))
+        return task
+
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+
+    # ------------------------------------------------------------------
+    def run_until(self, t_end: float) -> None:
+        """Process events until simulated time reaches ``t_end``."""
+        while self._heap and self._heap[0][0] <= t_end:
+            time, _seq, fn = heapq.heappop(self._heap)
+            self.now = time
+            fn()
+        self.now = max(self.now, t_end)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # synchronous helpers (safe inside a single event callback)
+    # ------------------------------------------------------------------
+    def pop_nowait(self, queue: SimQueue) -> Any:
+        """Pop an item the caller *knows* is present, without yielding.
+
+        Needed by scheduler threads that scan queues while holding a
+        core token: yielding a blocking Get while holding the core could
+        starve producers of cores.  Raises ``IndexError`` on empty.
+        """
+        item = queue.items.popleft()
+        queue.total_got += 1
+        self._unblock_putter(queue)
+        return item
+
+    # ------------------------------------------------------------------
+    # process advancement
+    # ------------------------------------------------------------------
+    def _advance(self, task: _Task, value: Any) -> None:
+        """Resume ``task`` with ``value``, handle its next request."""
+        if not task.alive:
+            return
+        try:
+            request = task.process.send(value)
+        except StopIteration:
+            task.alive = False
+            return
+        self._handle(task, request)
+
+    def _handle(self, task: _Task, request: Request) -> None:
+        if isinstance(request, Timeout):
+            self._schedule(request.delay, lambda: self._advance(task, None))
+        elif isinstance(request, Get):
+            self._handle_get(task, request.queue)
+        elif isinstance(request, Put):
+            self._handle_put(task, request.queue, request.item)
+        elif isinstance(request, Acquire):
+            self._handle_acquire(task, request.lock)
+        elif isinstance(request, Release):
+            self._handle_release(task, request.lock)
+        else:
+            raise TypeError(f"unknown request {request!r} from {task.name}")
+
+    # ------------------------------------------------------------------
+    def _handle_get(self, task: _Task, queue: SimQueue) -> None:
+        if queue.items:
+            item = queue.items.popleft()
+            queue.total_got += 1
+            self._unblock_putter(queue)
+            self._schedule(0.0, lambda: self._advance(task, item))
+        else:
+            queue.getters.append(task)
+
+    def _handle_put(self, task: _Task, queue: SimQueue, item: Any) -> None:
+        if queue.getters:
+            getter = queue.getters.popleft()
+            queue.total_put += 1
+            queue.total_got += 1
+            self._schedule(0.0, lambda: self._advance(getter, item))
+            self._schedule(0.0, lambda: self._advance(task, None))
+        elif not queue.is_full:
+            queue.items.append(item)
+            queue.total_put += 1
+            self._schedule(0.0, lambda: self._advance(task, None))
+        else:
+            queue.putters.append((task, item))
+
+    def _unblock_putter(self, queue: SimQueue) -> None:
+        if queue.putters and not queue.is_full:
+            putter, item = queue.putters.popleft()
+            queue.items.append(item)
+            queue.total_put += 1
+            self._schedule(0.0, lambda: self._advance(putter, None))
+
+    # ------------------------------------------------------------------
+    def _handle_acquire(self, task: _Task, lock: SimLock) -> None:
+        if lock.held_by is None:
+            lock.held_by = task
+            lock.acquisitions += 1
+            self._schedule(0.0, lambda: self._advance(task, None))
+        else:
+            lock.waiters.append(task)
+
+    def _handle_release(self, task: _Task, lock: SimLock) -> None:
+        if lock.held_by is not task:
+            raise RuntimeError(
+                f"{task.name} released {lock.name} it does not hold"
+            )
+        if lock.waiters:
+            nxt = lock.waiters.popleft()
+            lock.held_by = nxt
+            lock.acquisitions += 1
+            self._schedule(0.0, lambda: self._advance(nxt, None))
+        else:
+            lock.held_by = None
+        self._schedule(0.0, lambda: self._advance(task, None))

@@ -1,0 +1,44 @@
+"""Dataflow graph substrate: operators, streams, topologies, costs."""
+
+from .builder import GraphBuilder
+from .dot import ascii_summary, to_dot
+from .cost import (
+    CostDistribution,
+    assign_costs,
+    balanced,
+    cost_classes,
+    skewed,
+)
+from .model import (
+    FanoutPolicy,
+    GraphValidationError,
+    Operator,
+    OperatorKind,
+    StreamEdge,
+    StreamGraph,
+    TupleSpec,
+)
+from .topologies import bushy, bushy_82, data_parallel, mixed, pipeline
+
+__all__ = [
+    "ascii_summary",
+    "to_dot",
+    "GraphBuilder",
+    "CostDistribution",
+    "assign_costs",
+    "balanced",
+    "cost_classes",
+    "skewed",
+    "FanoutPolicy",
+    "GraphValidationError",
+    "Operator",
+    "OperatorKind",
+    "StreamEdge",
+    "StreamGraph",
+    "TupleSpec",
+    "bushy",
+    "bushy_82",
+    "data_parallel",
+    "mixed",
+    "pipeline",
+]

@@ -1,0 +1,106 @@
+"""Structural analysis helpers over stream graphs.
+
+These utilities answer the questions the runtime and the performance
+model need: how much pipeline parallelism does the graph expose, where
+are the critical paths, how do operators distribute over levels.  None
+of them mutate the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .model import StreamGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a stream graph."""
+
+    n_operators: int
+    n_functional: int
+    n_sources: int
+    n_sinks: int
+    n_edges: int
+    max_fan_out: int
+    max_fan_in: int
+    depth: int
+    max_width: int
+    total_cost_flops: float
+
+
+def levelize(graph: StreamGraph) -> Dict[int, int]:
+    """Assign each operator its longest-path depth from any source."""
+    level: Dict[int, int] = {}
+    for idx in graph.topological_order():
+        preds = graph.predecessors(idx)
+        level[idx] = 0 if not preds else 1 + max(level[p] for p in preds)
+    return level
+
+
+def width_profile(graph: StreamGraph) -> List[int]:
+    """Number of operators at each depth level (task-parallel width)."""
+    levels = levelize(graph)
+    depth = max(levels.values()) if levels else 0
+    profile = [0] * (depth + 1)
+    for lvl in levels.values():
+        profile[lvl] += 1
+    return profile
+
+
+def critical_path_cost(graph: StreamGraph) -> float:
+    """Maximum cumulative per-tuple FLOPs along any source->sink path.
+
+    A lower bound on per-tuple latency; with full pipelining it does not
+    bound throughput, but it bounds how much a single tuple costs.
+    """
+    best: Dict[int, float] = {}
+    for idx in graph.topological_order():
+        op = graph.operator(idx)
+        preds = graph.predecessors(idx)
+        incoming = max((best[p] for p in preds), default=0.0)
+        best[idx] = incoming + op.cost_flops
+    return max(best.values()) if best else 0.0
+
+
+def stats(graph: StreamGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for a graph."""
+    profile = width_profile(graph)
+    return GraphStats(
+        n_operators=len(graph),
+        n_functional=sum(
+            1 for op in graph if not op.is_source and not op.is_sink
+        ),
+        n_sources=len(graph.sources),
+        n_sinks=len(graph.sinks),
+        n_edges=len(graph.edges),
+        max_fan_out=max(
+            (graph.fan_out(op.index) for op in graph), default=0
+        ),
+        max_fan_in=max((graph.fan_in(op.index) for op in graph), default=0),
+        depth=len(profile) - 1 if profile else 0,
+        max_width=max(profile) if profile else 0,
+        total_cost_flops=graph.total_cost_flops(),
+    )
+
+
+def functional_indices(graph: StreamGraph) -> Tuple[int, ...]:
+    """Indices of non-source, non-sink operators.
+
+    These are the operators eligible for a scheduler queue; the paper
+    never queues a source (sources have their own operator threads).
+    """
+    return tuple(
+        op.index for op in graph if not op.is_source
+    )
+
+
+def queueable_indices(graph: StreamGraph) -> Tuple[int, ...]:
+    """Operators in front of which a scheduler queue may be placed.
+
+    Everything except sources: the dynamic threading model "injects
+    scheduler queues between each operator", and sinks receive queues
+    too (they are downstream operators like any other).
+    """
+    return tuple(op.index for op in graph if not op.is_source)

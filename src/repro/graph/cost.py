@@ -1,0 +1,151 @@
+"""Operator cost distributions used by the paper's benchmarks (§4.1).
+
+Two distributions:
+
+- **balanced** — every operator performs the same number of FLOPs per
+  tuple (the paper uses 100 FLOPs for pipeline benchmarks and sweeps
+  1..10000 for bushy graphs).
+- **skewed** — 10 % of operators are *heavy-weight* (10 000 FLOPs), 30 %
+  are *medium-weight* (100 FLOPs) and the remaining 60 % are
+  *light-weight* (1 FLOP), placed randomly in the graph "without any
+  prior knowledge".
+
+Sources and sinks keep their own (small) costs; the distributions apply
+to functional operators only, matching the benchmark setup where the
+workload lives in the pipeline stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .model import StreamGraph
+
+HEAVY_FLOPS = 10_000.0
+MEDIUM_FLOPS = 100.0
+LIGHT_FLOPS = 1.0
+
+HEAVY_FRACTION = 0.10
+MEDIUM_FRACTION = 0.30
+
+
+@dataclass(frozen=True)
+class CostDistribution:
+    """A named recipe for assigning per-tuple operator costs."""
+
+    name: str
+    heavy_fraction: float = 0.0
+    medium_fraction: float = 0.0
+    heavy_flops: float = HEAVY_FLOPS
+    medium_flops: float = MEDIUM_FLOPS
+    light_flops: float = LIGHT_FLOPS
+    uniform_flops: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        total = self.heavy_fraction + self.medium_fraction
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(
+                "heavy_fraction + medium_fraction must be within [0, 1], "
+                f"got {total}"
+            )
+
+    @property
+    def is_balanced(self) -> bool:
+        return self.uniform_flops is not None
+
+
+def balanced(flops: float = MEDIUM_FLOPS) -> CostDistribution:
+    """Every functional operator costs ``flops`` per tuple."""
+    return CostDistribution(name=f"balanced({flops:g})", uniform_flops=flops)
+
+
+def skewed(
+    heavy_fraction: float = HEAVY_FRACTION,
+    medium_fraction: float = MEDIUM_FRACTION,
+    heavy_flops: float = HEAVY_FLOPS,
+    medium_flops: float = MEDIUM_FLOPS,
+    light_flops: float = LIGHT_FLOPS,
+) -> CostDistribution:
+    """The paper's 10 % heavy / 30 % medium / 60 % light distribution."""
+    return CostDistribution(
+        name=f"skewed({heavy_fraction:.0%}/{medium_fraction:.0%})",
+        heavy_fraction=heavy_fraction,
+        medium_fraction=medium_fraction,
+        heavy_flops=heavy_flops,
+        medium_flops=medium_flops,
+        light_flops=light_flops,
+    )
+
+
+def assign_costs(
+    graph: StreamGraph,
+    distribution: CostDistribution,
+    rng: Optional[np.random.Generator] = None,
+) -> StreamGraph:
+    """Return a new graph with functional-operator costs re-assigned.
+
+    For skewed distributions the heavy/medium/light classes are placed
+    uniformly at random (seeded via ``rng``), mirroring "we randomly
+    place the heavy-, medium- and light-weight operators in the graph
+    without any prior knowledge".
+    """
+    functional = [
+        op.index
+        for op in graph
+        if not op.is_source and not op.is_sink
+    ]
+    costs: Dict[int, float] = {}
+    if distribution.is_balanced:
+        assert distribution.uniform_flops is not None
+        for idx in functional:
+            costs[idx] = distribution.uniform_flops
+        return graph.replace_costs(costs)
+
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = len(functional)
+    n_heavy = int(round(distribution.heavy_fraction * n))
+    n_medium = int(round(distribution.medium_fraction * n))
+    n_heavy = min(n_heavy, n)
+    n_medium = min(n_medium, n - n_heavy)
+    shuffled = list(functional)
+    rng.shuffle(shuffled)
+    heavy = shuffled[:n_heavy]
+    medium = shuffled[n_heavy : n_heavy + n_medium]
+    light = shuffled[n_heavy + n_medium :]
+    for idx in heavy:
+        costs[idx] = distribution.heavy_flops
+    for idx in medium:
+        costs[idx] = distribution.medium_flops
+    for idx in light:
+        costs[idx] = distribution.light_flops
+    return graph.replace_costs(costs)
+
+
+def cost_classes(
+    graph: StreamGraph,
+    heavy_flops: float = HEAVY_FLOPS,
+    medium_flops: float = MEDIUM_FLOPS,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Partition functional operators into (heavy, medium, light) classes.
+
+    Classification is by threshold against the canonical class costs;
+    useful for asserting distribution invariants in tests and for the
+    phase-change workload generator.
+    """
+    heavy: List[int] = []
+    medium: List[int] = []
+    light: List[int] = []
+    for op in graph:
+        if op.is_source or op.is_sink:
+            continue
+        if op.cost_flops >= heavy_flops:
+            heavy.append(op.index)
+        elif op.cost_flops >= medium_flops:
+            medium.append(op.index)
+        else:
+            light.append(op.index)
+    return heavy, medium, light

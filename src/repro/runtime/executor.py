@@ -1,0 +1,161 @@
+"""Virtual-clock adaptation executor.
+
+Drives the multi-level coordinator against a simulated PE: every
+``adaptation_period_s`` of virtual time, the executor observes the PE's
+throughput, feeds it to the coordinator and applies the returned
+configuration changes — exactly the paper's dedicated *adaptation
+thread* loop, but with simulated time so a 1000-second adaptation run
+finishes in milliseconds.
+
+Workload schedules (Fig. 13) are supported through ``workload_events``:
+a list of ``(time_s, graph)`` pairs; at each event time the PE's graph
+is swapped, which the coordinator then detects purely through the
+throughput signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.coordinator import CoordinatorAction, MultiLevelCoordinator
+from ..graph.model import StreamGraph
+from .events import (
+    AdaptationTrace,
+    Observation,
+    PlacementChange,
+    ThreadCountChange,
+)
+from .pe import ProcessingElement
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of an elastic run."""
+
+    trace: AdaptationTrace
+    final_threads: int
+    final_n_queues: int
+    final_dynamic_ratio: float
+    converged_throughput: float
+
+
+class AdaptationExecutor:
+    """Runs the elastic adaptation loop over virtual time."""
+
+    def __init__(
+        self,
+        pe: ProcessingElement,
+        coordinator: Optional[MultiLevelCoordinator] = None,
+        workload_events: Optional[Sequence[Tuple[float, StreamGraph]]] = None,
+    ) -> None:
+        self.pe = pe
+        config = pe.config
+        if coordinator is None:
+            coordinator = MultiLevelCoordinator(
+                config=config.elasticity,
+                max_threads=config.effective_max_threads,
+                profile_provider=pe.profiling_groups,
+                seed=config.seed,
+            )
+        self.coordinator = coordinator
+        self._workload_events = sorted(
+            workload_events or [], key=lambda ev: ev[0]
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration_s: float,
+        stop_after_stable_periods: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Run the adaptation loop for ``duration_s`` of virtual time.
+
+        With ``stop_after_stable_periods`` set, the run ends early once
+        the coordinator has reported a stable configuration for that
+        many consecutive periods — convenient for converged-throughput
+        benchmarks where the tail of the run carries no information.
+        (Not used for workload-change experiments, which need to keep
+        monitoring.)
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {duration_s}")
+        period = self.pe.config.elasticity.adaptation_period_s
+        trace = AdaptationTrace.empty()
+        events = list(self._workload_events)
+        time_s = 0.0
+        stable_streak = 0
+        while time_s < duration_s:
+            if stop_after_stable_periods is not None and not events:
+                if self.coordinator.is_stable:
+                    stable_streak += 1
+                    if stable_streak >= stop_after_stable_periods:
+                        break
+                else:
+                    stable_streak = 0
+            time_s += period
+            while events and events[0][0] <= time_s:
+                _, new_graph = events.pop(0)
+                self.pe.set_graph(new_graph)
+            observed = self.pe.observe_throughput()
+            true = self.pe.true_throughput()
+            trace.observations.append(
+                Observation(
+                    time_s=time_s,
+                    throughput=observed,
+                    true_throughput=true,
+                    threads=self.pe.scheduler_threads,
+                    n_queues=self.pe.n_queues,
+                    mode=self.coordinator.mode.value,
+                )
+            )
+            action = self.coordinator.step(observed)
+            self._apply(action, time_s, trace)
+        return ExecutionResult(
+            trace=trace,
+            final_threads=self.pe.scheduler_threads,
+            final_n_queues=self.pe.n_queues,
+            final_dynamic_ratio=self.pe.dynamic_ratio(),
+            converged_throughput=trace.final_throughput(),
+        )
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        action: CoordinatorAction,
+        time_s: float,
+        trace: AdaptationTrace,
+    ) -> None:
+        if action.set_threads is not None:
+            old = self.pe.scheduler_threads
+            if action.set_threads != old:
+                trace.thread_changes.append(
+                    ThreadCountChange(
+                        time_s=time_s,
+                        old_threads=old,
+                        new_threads=action.set_threads,
+                    )
+                )
+                self.pe.set_scheduler_threads(action.set_threads)
+        if action.set_placement is not None:
+            old_q = self.pe.n_queues
+            new_q = action.set_placement.n_queues
+            if action.set_placement.queued != self.pe.placement.queued:
+                trace.placement_changes.append(
+                    PlacementChange(
+                        time_s=time_s,
+                        old_n_queues=old_q,
+                        new_n_queues=new_q,
+                    )
+                )
+                self.pe.set_placement(action.set_placement)
+
+
+def run_elastic(
+    pe: ProcessingElement,
+    duration_s: float,
+    workload_events: Optional[Sequence[Tuple[float, StreamGraph]]] = None,
+) -> ExecutionResult:
+    """Convenience wrapper: build an executor and run it."""
+    executor = AdaptationExecutor(pe, workload_events=workload_events)
+    return executor.run(duration_s)

@@ -1,0 +1,114 @@
+"""The simulated processing element (PE).
+
+A PE bundles the static stream graph with the mutable execution
+configuration (queue placement + scheduler thread count) and the
+performance substrate used to observe throughput.  This mirrors the
+paper's setting: "This paper is only concerned with the execution
+inside of a single PE".
+
+The PE exposes exactly the observables the elastic controllers are
+allowed to see:
+
+- :meth:`observe_throughput` — sink throughput over the last adaptation
+  period, with measurement noise;
+- :meth:`profile` — a sampling-profiler pass yielding operator cost
+  metrics.
+
+It also exposes ground truth (:meth:`true_throughput`) for evaluation
+and tests, which the controllers never consume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.binning import ProfilingGroup, build_groups
+from ..core.profiler import CostProfile, SamplingProfiler
+from ..graph.model import StreamGraph
+from ..perfmodel.machine import MachineProfile
+from ..perfmodel.noise import NoiseModel
+from ..perfmodel.throughput import PerformanceModel, ThroughputEstimate
+from .config import RuntimeConfig
+from .queues import QueuePlacement
+
+
+class ProcessingElement:
+    """A single simulated Streams PE."""
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        machine: MachineProfile,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else RuntimeConfig()
+        self.machine = machine
+        self.graph = graph
+        self.model = PerformanceModel(graph, machine)
+        self.placement = QueuePlacement.empty()
+        self.scheduler_threads = self.config.elasticity.initial_threads
+        self._noise = NoiseModel(
+            std=self.config.noise_std, seed=self.config.seed
+        )
+        self._profiler = SamplingProfiler(
+            machine,
+            n_samples=self.config.elasticity.profiling_samples,
+            seed=self.config.seed + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # configuration mutation (driven by the elastic controllers)
+    # ------------------------------------------------------------------
+    def set_placement(self, placement: QueuePlacement) -> None:
+        placement.validate(self.graph)
+        self.placement = placement
+
+    def set_scheduler_threads(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"scheduler thread count must be >= 0: {n}")
+        self.scheduler_threads = n
+
+    def set_graph(self, graph: StreamGraph) -> None:
+        """Swap the workload (phase change); placement indices must
+        remain valid in the new graph."""
+        self.placement.validate(graph)
+        self.graph = graph
+        self.model.invalidate(graph)
+
+    # ------------------------------------------------------------------
+    # observables
+    # ------------------------------------------------------------------
+    def estimate(self) -> ThroughputEstimate:
+        return self.model.estimate(self.placement, self.scheduler_threads)
+
+    def true_throughput(self) -> float:
+        """Noise-free sink throughput (evaluation only)."""
+        return self.model.sink_throughput(
+            self.placement, self.scheduler_threads
+        )
+
+    def observe_throughput(self) -> float:
+        """Noisy sink throughput, as the adaptation thread would see."""
+        return self._noise.observe(self.true_throughput())
+
+    def profile(self) -> CostProfile:
+        return self._profiler.profile(self.graph)
+
+    def profiling_groups(self, base: float = 10.0) -> List[ProfilingGroup]:
+        """One full profiling pass binned into groups."""
+        return build_groups(self.graph, self.profile(), base=base)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_queues(self) -> int:
+        return self.placement.n_queues
+
+    def dynamic_ratio(self) -> float:
+        return self.placement.dynamic_ratio(self.graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessingElement(graph={self.graph.name!r}, "
+            f"machine={self.machine.name!r}, "
+            f"threads={self.scheduler_threads}, queues={self.n_queues})"
+        )

@@ -1,0 +1,110 @@
+"""Serialization of adaptation traces to/from JSON.
+
+Long elastic runs are expensive to regenerate; persisting their traces
+lets the SASO analysis, the reporting layer and external plotting tools
+work offline.  The format is a plain versioned JSON document — no
+pickling, so traces are portable across library versions and safe to
+share.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from .events import (
+    AdaptationTrace,
+    Observation,
+    PlacementChange,
+    ThreadCountChange,
+)
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def trace_to_dict(trace: AdaptationTrace) -> dict:
+    """Convert a trace to a JSON-serializable dictionary."""
+    return {
+        "version": FORMAT_VERSION,
+        "observations": [
+            {
+                "time_s": o.time_s,
+                "throughput": o.throughput,
+                "true_throughput": o.true_throughput,
+                "threads": o.threads,
+                "n_queues": o.n_queues,
+                "mode": o.mode,
+            }
+            for o in trace.observations
+        ],
+        "thread_changes": [
+            {
+                "time_s": c.time_s,
+                "old_threads": c.old_threads,
+                "new_threads": c.new_threads,
+            }
+            for c in trace.thread_changes
+        ],
+        "placement_changes": [
+            {
+                "time_s": c.time_s,
+                "old_n_queues": c.old_n_queues,
+                "new_n_queues": c.new_n_queues,
+            }
+            for c in trace.placement_changes
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> AdaptationTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    trace = AdaptationTrace.empty()
+    for o in data["observations"]:
+        trace.observations.append(
+            Observation(
+                time_s=float(o["time_s"]),
+                throughput=float(o["throughput"]),
+                true_throughput=float(o["true_throughput"]),
+                threads=int(o["threads"]),
+                n_queues=int(o["n_queues"]),
+                mode=str(o["mode"]),
+            )
+        )
+    for c in data["thread_changes"]:
+        trace.thread_changes.append(
+            ThreadCountChange(
+                time_s=float(c["time_s"]),
+                old_threads=int(c["old_threads"]),
+                new_threads=int(c["new_threads"]),
+            )
+        )
+    for c in data["placement_changes"]:
+        trace.placement_changes.append(
+            PlacementChange(
+                time_s=float(c["time_s"]),
+                old_n_queues=int(c["old_n_queues"]),
+                new_n_queues=int(c["new_n_queues"]),
+            )
+        )
+    return trace
+
+
+def save_trace(trace: AdaptationTrace, path: PathLike) -> None:
+    """Write a trace to ``path`` as JSON."""
+    payload = json.dumps(trace_to_dict(trace), indent=1)
+    pathlib.Path(path).write_text(payload)
+
+
+def load_trace(path: PathLike) -> AdaptationTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    data = json.loads(pathlib.Path(path).read_text())
+    return trace_from_dict(data)

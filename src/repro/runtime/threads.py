@@ -1,0 +1,112 @@
+"""Thread bookkeeping: the per-thread state variable of §3.
+
+The paper's operator cost metric works by "registering a runtime level
+per-thread state variable for each thread in the system, which is set to
+the corresponding operator index when threads enter the processing logic
+of that operator"; a profiler thread periodically snapshots all threads
+and counts which operators they were caught in.
+
+:class:`ThreadRegistry` is that mechanism: execution substrates (the DES
+engine) publish each thread's current operator through it, and
+:class:`SnapshotProfiler` turns periodic snapshots into the same
+:class:`~repro.core.profiler.CostProfile` the analytical profiler
+produces — so the binning/elasticity stack runs unchanged on metrics
+gathered from *actual execution* rather than from the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.profiler import CostProfile
+
+IDLE: Optional[int] = None
+
+
+@dataclass
+class ThreadState:
+    """One thread's published state."""
+
+    name: str
+    current_operator: Optional[int] = IDLE
+    snapshots_taken: int = 0
+
+
+class ThreadRegistry:
+    """Registry of live threads and their current operator indices."""
+
+    def __init__(self) -> None:
+        self._threads: Dict[str, ThreadState] = {}
+
+    def register(self, name: str) -> ThreadState:
+        if name in self._threads:
+            raise ValueError(f"thread {name!r} already registered")
+        state = ThreadState(name=name)
+        self._threads[name] = state
+        return state
+
+    def set_current(self, name: str, operator: Optional[int]) -> None:
+        """Publish the operator ``name`` is about to execute (None=idle).
+
+        Mirrors the runtime setting the per-thread state variable on
+        entry to an operator's processing logic.
+        """
+        self._threads[name].current_operator = operator
+
+    def snapshot(self) -> Tuple[Tuple[str, Optional[int]], ...]:
+        """One profiler wake-up: every thread's current operator."""
+        out = []
+        for state in self._threads.values():
+            state.snapshots_taken += 1
+            out.append((state.name, state.current_operator))
+        return tuple(out)
+
+    @property
+    def thread_names(self) -> Tuple[str, ...]:
+        return tuple(self._threads)
+
+    def __len__(self) -> int:
+        return len(self._threads)
+
+
+class SnapshotProfiler:
+    """Accumulates registry snapshots into an operator cost profile."""
+
+    def __init__(self, registry: ThreadRegistry) -> None:
+        self.registry = registry
+        self._counters: Dict[int, int] = {}
+        self._samples = 0
+
+    def sample(self) -> None:
+        """Take one snapshot and update the per-operator counters."""
+        self._samples += 1
+        for _thread, operator in self.registry.snapshot():
+            if operator is not None:
+                self._counters[operator] = (
+                    self._counters.get(operator, 0) + 1
+                )
+
+    @property
+    def samples_taken(self) -> int:
+        return self._samples
+
+    def profile(self, n_operators: int) -> CostProfile:
+        """Render the counters as a :class:`CostProfile`.
+
+        ``n_operators`` fixes the index domain so operators never caught
+        by the profiler appear with a zero count (they form the lightest
+        profiling group).
+        """
+        counts = tuple(
+            (idx, self._counters.get(idx, 0))
+            for idx in range(n_operators)
+        )
+        return CostProfile(
+            counts=counts,
+            n_samples=sum(self._counters.values()),
+        )
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._samples = 0

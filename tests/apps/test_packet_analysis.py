@@ -1,0 +1,76 @@
+"""Tests for the PacketAnalysis application topology (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.packet_analysis import (
+    EIGHT_SOURCE_OPERATORS,
+    ONE_SOURCE_OPERATORS,
+    build_packet_analysis,
+    hand_optimized,
+)
+from repro.graph.analysis import stats
+
+
+class TestTopology:
+    def test_one_source_count_matches_paper(self):
+        assert len(build_packet_analysis(1)) == ONE_SOURCE_OPERATORS == 387
+
+    def test_eight_source_count_matches_paper(self):
+        assert (
+            len(build_packet_analysis(8)) == EIGHT_SOURCE_OPERATORS == 2305
+        )
+
+    def test_source_count(self):
+        assert stats(build_packet_analysis(8)).n_sources == 8
+
+    def test_rejects_zero_sources(self):
+        with pytest.raises(ValueError):
+            build_packet_analysis(0)
+
+    def test_payload_default_is_small(self):
+        # ~256B tuples: "relatively small compared to the
+        # computationally expensive analytics".
+        assert build_packet_analysis(1).tuple_spec.payload_bytes == 256
+
+    def test_dga_branch_is_heavy(self):
+        g = build_packet_analysis(1)
+        dga = g.by_name("S0DgaW0D0")
+        tunnel = g.by_name("S0TunnelW0D0")
+        assert dga.cost_flops > tunnel.cost_flops
+
+    def test_branches_broadcast_from_ingest(self):
+        """Each analysis branch sees every packet (broadcast)."""
+        g = build_packet_analysis(1)
+        rates = g.arrival_rates()
+        assert rates[g.by_name("S0DgaHead").index] == pytest.approx(1.0)
+        assert rates[g.by_name("S0TunnelHead").index] == pytest.approx(1.0)
+
+    def test_workers_split_within_branch(self):
+        g = build_packet_analysis(1)
+        rates = g.arrival_rates()
+        assert rates[g.by_name("S0DgaW0D0").index] == pytest.approx(1 / 5)
+
+    def test_collector_aggregates_all_sources(self):
+        g = build_packet_analysis(4)
+        assert g.fan_in(g.by_name("Collector").index) == 4
+
+
+class TestHandOptimized:
+    def test_one_source_17_threads(self):
+        g = build_packet_analysis(1)
+        placement, threads = hand_optimized(g)
+        assert threads == 17
+        assert placement.n_queues == 17
+
+    def test_eight_source_129_threads(self):
+        g = build_packet_analysis(8)
+        placement, threads = hand_optimized(g)
+        assert threads == 129
+        assert placement.n_queues == 129
+
+    def test_placement_valid(self):
+        g = build_packet_analysis(2)
+        placement, _ = hand_optimized(g)
+        placement.validate(g)

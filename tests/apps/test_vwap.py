@@ -1,0 +1,51 @@
+"""Tests for the VWAP mini-application (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.vwap import (
+    HAND_OPTIMIZED_THREADS,
+    VWAP_OPERATOR_COUNT,
+    build_vwap,
+    hand_optimized,
+)
+from repro.graph.analysis import stats
+
+
+class TestTopology:
+    def test_operator_count_matches_paper(self):
+        assert len(build_vwap()) == VWAP_OPERATOR_COUNT == 52
+
+    def test_single_source_single_sink(self):
+        s = stats(build_vwap())
+        assert s.n_sources == 1
+        assert s.n_sinks == 1
+
+    def test_rate_conservation_at_sink(self):
+        g = build_vwap()
+        rates = g.arrival_rates()
+        # The bargain join sees the 8 bargain workers (broadcast into
+        # join), each carrying 1/4 rate -> join and exports at rate 2.
+        assert rates[g.by_name("Sink").index] == pytest.approx(2.0)
+
+    def test_vwap_paths_split_rate(self):
+        g = build_vwap()
+        rates = g.arrival_rates()
+        assert rates[g.by_name("VwapAgg3").index] == pytest.approx(1 / 8)
+
+    def test_payload_configurable(self):
+        assert build_vwap(payload_bytes=512).tuple_spec.payload_bytes == 512
+
+
+class TestHandOptimized:
+    def test_nine_threaded_ports(self):
+        g = build_vwap()
+        placement, threads = hand_optimized(g)
+        assert placement.n_queues == 9
+        assert threads == HAND_OPTIMIZED_THREADS == 9
+
+    def test_placement_is_valid(self):
+        g = build_vwap()
+        placement, _ = hand_optimized(g)
+        placement.validate(g)  # must not raise

@@ -1,0 +1,81 @@
+"""Tests for workload generators (Fig. 13) and WikiWordCount."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.wordcount import build_wordcount
+from repro.apps.workloads import phase_change, scaled_workload
+from repro.graph import cost_classes, pipeline
+from repro.graph.analysis import stats
+
+
+class TestPhaseChange:
+    def test_heavy_ratio_shifts(self):
+        w = phase_change(n_operators=100, seed=1)
+        heavy_before, _, _ = cost_classes(w.initial)
+        heavy_after, _, _ = cost_classes(w.changed)
+        assert len(heavy_before) == 10
+        assert len(heavy_after) == 90
+
+    def test_same_topology_both_phases(self):
+        w = phase_change(n_operators=50)
+        assert len(w.initial) == len(w.changed)
+        assert w.initial.edges == w.changed.edges
+
+    def test_events_format(self):
+        w = phase_change(change_time_s=600.0)
+        events = w.events()
+        assert len(events) == 1
+        assert events[0][0] == 600.0
+        assert events[0][1] is w.changed
+
+    def test_total_cost_increases(self):
+        w = phase_change(n_operators=100, seed=2)
+        assert (
+            w.changed.total_cost_flops() > w.initial.total_cost_flops()
+        )
+
+    def test_seeded(self):
+        a = phase_change(seed=5)
+        b = phase_change(seed=5)
+        assert [op.cost_flops for op in a.initial] == [
+            op.cost_flops for op in b.initial
+        ]
+
+
+class TestScaledWorkload:
+    def test_scale_multiplies_functional_costs(self, chain10):
+        scaled = scaled_workload(chain10, 3.0)
+        assert scaled.by_name("op0").cost_flops == pytest.approx(3000.0)
+
+    def test_source_sink_untouched(self, chain10):
+        scaled = scaled_workload(chain10, 3.0)
+        assert scaled.by_name("src").cost_flops == chain10.by_name(
+            "src"
+        ).cost_flops
+
+    def test_rejects_nonpositive_factor(self, chain10):
+        with pytest.raises(ValueError):
+            scaled_workload(chain10, 0.0)
+
+
+class TestWordCount:
+    def test_structure(self):
+        g = build_wordcount()
+        s = stats(g)
+        assert s.n_sources == 1
+        assert s.n_sinks == 1
+        assert len(g) == 20
+
+    def test_tokenizer_selectivity_amplifies(self):
+        g = build_wordcount(words_per_page=40.0)
+        rates = g.arrival_rates()
+        # 5 tokenizers each at rate 1/5 with selectivity 40 -> the
+        # partitioner sees 40 words per page.
+        assert rates[g.by_name("PartitionBy").index] == pytest.approx(40.0)
+
+    def test_aggregates_split_words(self):
+        g = build_wordcount(words_per_page=40.0)
+        rates = g.arrival_rates()
+        assert rates[g.by_name("Aggregate0").index] == pytest.approx(4.0)

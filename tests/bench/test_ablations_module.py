@@ -1,0 +1,92 @@
+"""Tests for the ablation experiment implementations (small scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.ablations import (
+    AblationResult,
+    ablate_binning,
+    ablate_coordination,
+    ablate_primary_order,
+    ablate_sens,
+    ablate_start_direction,
+)
+from repro.graph import assign_costs, pipeline, skewed
+from repro.perfmodel import xeon_176
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return assign_costs(
+        pipeline(60, payload_bytes=1024),
+        skewed(),
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return xeon_176().with_cores(16)
+
+
+class TestStartDirection:
+    def test_two_arms(self, graph, machine):
+        results = ablate_start_direction(graph, machine)
+        assert [r.arm for r in results] == [
+            "start-minimum",
+            "start-maximum",
+        ]
+        for r in results:
+            assert r.converged_throughput > 0
+
+    def test_maximum_start_begins_fully_dynamic(self, graph, machine):
+        results = ablate_start_direction(graph, machine)
+        maximum = results[1]
+        # Started at full placement; the trace should include periods
+        # with a large queue count.
+        assert maximum.final_n_queues >= 0  # sanity
+        assert maximum.saso.max_threads_used == machine.logical_cores
+
+
+class TestCoordination:
+    def test_iterative_beats_one_shot(self, graph, machine):
+        results = ablate_coordination(graph, machine)
+        by_arm = {r.arm: r for r in results}
+        assert (
+            by_arm["iterative"].converged_throughput
+            >= by_arm["one-shot"].converged_throughput
+        )
+
+
+class TestBinning:
+    def test_two_arms_complete(self, graph, machine):
+        results = ablate_binning(graph, machine)
+        assert {r.arm for r in results} == {
+            "log-binning",
+            "per-operator",
+        }
+
+
+class TestPrimaryOrder:
+    def test_metrics_populated(self, graph, machine):
+        results = ablate_primary_order(graph, machine)
+        by_arm = {r.arm: r for r in results}
+        adopted = by_arm["thread-count-primary"]
+        rejected = by_arm["threading-model-primary"]
+        assert adopted.mean_threads > 0
+        assert rejected.mean_threads > 0
+        assert adopted.converged_throughput > 0
+        assert rejected.converged_throughput > 0
+
+
+class TestSensSweep:
+    def test_keys_match_requested(self, graph, machine):
+        out = ablate_sens(
+            graph, machine, sens_values=(0.05, 0.2), noise_std=0.02
+        )
+        assert set(out) == {0.05, 0.2}
+        for r in out.values():
+            assert isinstance(r, AblationResult)
+            assert r.converged_throughput > 0

@@ -1,0 +1,96 @@
+"""Tests for the per-figure experiment definitions (small parameters).
+
+The full grids run under ``benchmarks/``; these tests exercise the
+experiment *code paths* and result invariants quickly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import (
+    fig01_motivation,
+    fig06_adaptation,
+    fig10_data_parallel,
+    fig12_bushy,
+    fig13_phase_change,
+    sec311_period_sweep,
+)
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig01_motivation(
+            payloads=(1024,),
+            cores=(16,),
+            n_operators=50,
+            fractions=(0.0, 0.2, 0.5, 1.0),
+        )
+
+    def test_one_result_per_config(self, results):
+        assert len(results) == 1
+
+    def test_sweep_covers_fractions(self, results):
+        assert [row[0] for row in results[0].sweep] == [
+            0.0, 0.2, 0.5, 1.0,
+        ]
+
+    def test_derived_properties(self, results):
+        r = results[0]
+        assert r.manual_throughput == r.sweep[0][2]
+        assert r.full_dynamic_throughput == r.sweep[-1][2]
+        assert r.best_sweep_throughput == max(t for _f, _n, t in r.sweep)
+        assert 0.0 <= r.auto_fraction <= 1.0
+
+
+class TestFig06:
+    def test_four_variants(self):
+        results = fig06_adaptation(n_operators=60, duration_s=4000.0)
+        assert [r.variant for r in results] == [
+            "no-opt",
+            "history",
+            "history+sf0.6",
+            "history+sf0",
+        ]
+        for r in results:
+            assert r.converged_throughput > 0
+            assert r.trace.observations
+
+
+class TestFig10:
+    def test_small_grid(self):
+        comps = fig10_data_parallel(widths=(10,), payloads=(1024,))
+        assert len(comps) == 1
+        c = comps[0]
+        assert c.manual.throughput > 0
+        assert c.workload == "dp(10) 1024B"
+
+
+class TestFig12:
+    def test_small_grid(self):
+        comps = fig12_bushy(cores=(16,), costs=(100.0,))
+        assert len(comps) == 1
+        assert "bushy82" in comps[0].workload
+
+
+class TestFig13:
+    def test_phase_change_result_fields(self):
+        r = fig13_phase_change(
+            n_operators=40,
+            change_time_s=400.0,
+            total_duration_s=1500.0,
+        )
+        assert r.change_time_s == 400.0
+        assert r.threads_before >= 1
+        assert r.threads_after >= 1
+        assert r.trace.duration_s == pytest.approx(1500.0)
+
+
+class TestSec311:
+    def test_period_sweep_keys(self):
+        out = sec311_period_sweep(
+            periods_s=(5.0, 20.0), n_operators=40
+        )
+        assert set(out) == {5.0, 20.0}
+        assert all(v > 0 for v in out.values())

@@ -1,0 +1,114 @@
+"""Tests for the benchmark harness baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    compare,
+    oracle_sweep,
+    run_dynamic_only,
+    run_hand_optimized,
+    run_manual,
+    run_multi_level,
+)
+from repro.graph import pipeline
+from repro.perfmodel import laptop
+from repro.runtime import QueuePlacement, RuntimeConfig
+
+
+@pytest.fixture
+def graph():
+    return pipeline(20, cost_flops=2000.0, payload_bytes=256)
+
+
+@pytest.fixture
+def machine():
+    return laptop(8)
+
+
+class TestBaselines:
+    def test_manual_uses_source_threads_only(self, graph, machine):
+        r = run_manual(graph, machine)
+        assert r.label == "manual"
+        assert r.threads == 1
+        assert r.n_queues == 0
+        assert r.dynamic_ratio == 0.0
+        assert r.throughput > 0
+
+    def test_hand_optimized_fixed_config(self, graph, machine):
+        placement = QueuePlacement.of([5, 10, 15])
+        r = run_hand_optimized(graph, machine, placement, 3)
+        assert r.threads == 3
+        assert r.n_queues == 3
+
+    def test_dynamic_only_full_placement(self, graph, machine):
+        r = run_dynamic_only(graph, machine)
+        assert r.dynamic_ratio == 1.0
+        assert r.n_queues == 21
+        assert 1 <= r.threads <= machine.logical_cores
+
+    def test_dynamic_only_beats_manual_on_parallel_graph(
+        self, graph, machine
+    ):
+        manual = run_manual(graph, machine)
+        dynamic = run_dynamic_only(graph, machine)
+        assert dynamic.throughput > manual.throughput
+
+    def test_multi_level_returns_trace(self, graph, machine):
+        r = run_multi_level(
+            graph, machine, RuntimeConfig(cores=8, seed=1)
+        )
+        assert r.trace is not None
+        assert r.trace.observations
+
+    def test_multi_level_beats_manual(self, graph, machine):
+        manual = run_manual(graph, machine)
+        multi = run_multi_level(
+            graph, machine, RuntimeConfig(cores=8, seed=1)
+        )
+        assert multi.throughput > 1.5 * manual.throughput
+
+
+class TestCompare:
+    def test_compare_bundles_everything(self, graph, machine):
+        c = compare(
+            graph,
+            machine,
+            RuntimeConfig(cores=8, seed=1),
+            hand=(QueuePlacement.of([5, 10, 15]), 3),
+            workload="test",
+        )
+        assert c.workload == "test"
+        assert c.hand_optimized is not None
+        assert c.multi_level_speedup > 1.0
+        assert c.dynamic_speedup > 0
+        assert c.multi_over_dynamic > 0
+
+    def test_speedup_ratios(self, graph, machine):
+        c = compare(graph, machine, RuntimeConfig(cores=8, seed=1))
+        assert c.multi_level_speedup == pytest.approx(
+            c.multi_level.throughput / c.manual.throughput
+        )
+
+
+class TestOracleSweep:
+    def test_rows_cover_fractions(self, graph, machine):
+        rows = oracle_sweep(graph, machine, fractions=(0.0, 0.5, 1.0))
+        assert [r[0] for r in rows] == [0.0, 0.5, 1.0]
+
+    def test_zero_fraction_matches_manual(self, graph, machine):
+        rows = oracle_sweep(graph, machine, fractions=(0.0,))
+        manual = run_manual(graph, machine)
+        assert rows[0][2] == pytest.approx(manual.throughput)
+
+    def test_best_interior_beats_extremes(self):
+        g = pipeline(100, payload_bytes=1024)
+        machine = laptop(16)
+        rows = oracle_sweep(
+            g, machine, fractions=(0.0, 0.1, 0.2, 0.5, 1.0)
+        )
+        by_frac = {f: t for f, _n, t in rows}
+        best = max(by_frac.values())
+        assert best > by_frac[0.0]
+        assert best > by_frac[1.0]

@@ -1,0 +1,76 @@
+"""Tests for ASCII reporting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench import app_table, comparison_table, format_table
+from repro.bench.harness import BaselineResult, Comparison
+
+
+def _result(label, throughput, threads=1, queues=0, ratio=0.0):
+    return BaselineResult(
+        label=label,
+        throughput=throughput,
+        threads=threads,
+        n_queues=queues,
+        dynamic_ratio=ratio,
+    )
+
+
+def _comparison(with_hand=False):
+    return Comparison(
+        workload="w",
+        manual=_result("manual", 100.0),
+        dynamic=_result("dynamic", 300.0, threads=8, queues=10, ratio=1.0),
+        multi_level=_result(
+            "multi-level", 500.0, threads=4, queues=3, ratio=0.3
+        ),
+        hand_optimized=(
+            _result("hand", 250.0, threads=9, queues=9) if with_hand else None
+        ),
+    )
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(
+            ["a", "bb"], [[1, 2.5], [30, 4444.0]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1234.5], [0.567], [12.34], [0.0]])
+        assert "1,234" in out
+        assert "0.57" in out
+        assert "12.3" in out
+
+    def test_handles_strings(self):
+        out = format_table(["x"], [["hello"]])
+        assert "hello" in out
+
+
+class TestComparisonTable:
+    def test_contains_speedups(self):
+        out = comparison_table([_comparison()], title="Fig")
+        assert "Fig" in out
+        assert "5.00" in out  # multi/manual speedup
+        assert "3.00" in out  # dynamic/manual speedup
+
+    def test_multi_over_dynamic(self):
+        c = _comparison()
+        assert c.multi_over_dynamic == 500.0 / 300.0
+
+
+class TestAppTable:
+    def test_includes_hand_columns(self):
+        out = app_table([_comparison(with_hand=True)])
+        assert "hand" in out
+        assert "2.00" in out  # multi/hand = 500/250
+
+    def test_missing_hand_is_nan(self):
+        out = app_table([_comparison(with_hand=False)])
+        assert "nan" in out

@@ -1,0 +1,47 @@
+"""Tests for the results-summary generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.summary import collect_summary, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig01_motivation.txt").write_text("table A\n")
+    (d / "custom_extra.txt").write_text("table B\n")
+    return d
+
+
+class TestCollectSummary:
+    def test_known_files_in_order(self, results_dir):
+        text = collect_summary(results_dir)
+        assert text.index("fig01_motivation") < text.index("custom_extra")
+        assert "table A" in text
+        assert "table B" in text
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_summary(tmp_path / "nope")
+
+    def test_explicit_names_filter(self, results_dir):
+        text = collect_summary(
+            results_dir, names=["fig01_motivation"]
+        )
+        assert "table A" in text
+        # Unknown-but-present files are still appended.
+        assert "custom_extra" in text
+
+    def test_main_writes_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "summary.md"
+        code = main([str(results_dir), str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "table A" in out.read_text()
+
+    def test_main_prints_without_output(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "table A" in capsys.readouterr().out

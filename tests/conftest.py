@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GraphBuilder,
+    StreamGraph,
+    data_parallel,
+    pipeline,
+)
+from repro.perfmodel import MachineProfile, laptop, xeon_176
+from repro.runtime import ElasticityConfig, RuntimeConfig
+from repro.runtime.queues import QueuePlacement
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_machine() -> MachineProfile:
+    return laptop(8)
+
+
+@pytest.fixture
+def xeon() -> MachineProfile:
+    return xeon_176()
+
+
+@pytest.fixture
+def chain10() -> StreamGraph:
+    """A 10-operator pipeline, the workhorse small graph."""
+    return pipeline(10, cost_flops=1000.0, payload_bytes=256)
+
+
+@pytest.fixture
+def dp8() -> StreamGraph:
+    """An 8-wide data-parallel graph with a locking sink."""
+    return data_parallel(8, cost_flops=2000.0, payload_bytes=256)
+
+
+@pytest.fixture
+def diamond() -> StreamGraph:
+    """src -> a -> (b, c) -> d -> snk: broadcast fan-out + fan-in."""
+    b = GraphBuilder("diamond", payload_bytes=128)
+    src = b.add_source("src")
+    a = b.add_operator("a", cost_flops=100)
+    bb = b.add_operator("b", cost_flops=200)
+    cc = b.add_operator("c", cost_flops=300)
+    d = b.add_operator("d", cost_flops=100)
+    snk = b.add_sink("snk")
+    b.connect(src, a)
+    b.fan_out(a, [bb, cc])
+    b.fan_in([bb, cc], d)
+    b.connect(d, snk)
+    return b.build()
+
+
+@pytest.fixture
+def fast_config() -> RuntimeConfig:
+    """Config with small profiling cost for quick adaptation tests."""
+    return RuntimeConfig(
+        cores=8,
+        seed=7,
+        noise_std=0.005,
+        elasticity=ElasticityConfig(profiling_samples=400),
+    )
+
+
+@pytest.fixture
+def empty_placement() -> QueuePlacement:
+    return QueuePlacement.empty()

@@ -1,0 +1,116 @@
+"""Tests for logarithmic binning into profiling groups."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SamplingProfiler, build_groups, validate_groups
+from repro.core.profiler import CostProfile
+from repro.graph import assign_costs, pipeline, skewed
+from repro.perfmodel import laptop
+
+
+def _profile_from(counts):
+    return CostProfile(
+        counts=tuple(sorted(counts.items())),
+        n_samples=sum(counts.values()),
+    )
+
+
+class TestBuildGroups:
+    def test_rejects_bad_base(self):
+        g = pipeline(3)
+        profile = _profile_from({1: 1, 2: 1, 3: 1, 4: 1})
+        with pytest.raises(ValueError):
+            build_groups(g, profile, base=1.0)
+
+    def test_same_decade_one_group(self):
+        g = pipeline(4)  # queueable: ops 1-4 and sink 5
+        profile = _profile_from({1: 50, 2: 30, 3: 70, 4: 55, 5: 20})
+        groups = build_groups(g, profile)
+        # All within 10x of the max (70) -> single group.
+        assert len(groups) == 1
+        assert len(groups[0]) == 5
+
+    def test_decade_separation(self):
+        g = pipeline(4)
+        profile = _profile_from({1: 1000, 2: 900, 3: 50, 4: 40, 5: 2})
+        groups = build_groups(g, profile)
+        assert [sorted(gr.members) for gr in groups] == [
+            [1, 2],
+            [3, 4],
+            [5],
+        ]
+
+    def test_groups_ordered_by_descending_cost(self):
+        g = pipeline(4)
+        profile = _profile_from({1: 1, 2: 1000, 3: 50, 4: 1, 5: 1})
+        groups = build_groups(g, profile)
+        metrics = [gr.representative_metric for gr in groups]
+        assert metrics == sorted(metrics, reverse=True)
+
+    def test_zero_metric_operators_form_lightest_group(self):
+        g = pipeline(4)
+        profile = _profile_from({1: 100, 2: 100, 3: 0, 4: 0, 5: 0})
+        groups = build_groups(g, profile)
+        assert sorted(groups[-1].members) == [3, 4, 5]
+        assert groups[-1].representative_metric == 0.0
+
+    def test_scale_invariance(self):
+        """Multiplying every count by a constant must not change groups."""
+        g = pipeline(6)
+        base = {1: 500, 2: 450, 3: 40, 4: 35, 5: 3, 6: 2, 7: 1}
+        a = build_groups(g, _profile_from(base))
+        scaled = {k: v * 17 for k, v in base.items()}
+        b = build_groups(g, _profile_from(scaled))
+        assert [gr.members for gr in a] == [gr.members for gr in b]
+
+    def test_groups_partition_queueable(self):
+        g = pipeline(10)
+        machine = laptop(4)
+        profile = SamplingProfiler(machine, n_samples=300, seed=0).profile(g)
+        groups = build_groups(g, profile)
+        validate_groups(g, groups)  # raises on failure
+
+    def test_skewed_distribution_forms_three_main_groups(self):
+        g = assign_costs(
+            pipeline(100), skewed(), rng=np.random.default_rng(0)
+        )
+        machine = laptop(4)
+        profile = SamplingProfiler(
+            machine, n_samples=50_000, seed=1
+        ).profile(g)
+        groups = build_groups(g, profile)
+        # Heavy ops: 10 operators at 10000 FLOPs must land together in
+        # the top group.
+        heavy = [
+            op.index for op in g if op.cost_flops == 10_000.0
+        ]
+        assert set(heavy) <= set(groups[0].members)
+
+
+class TestValidateGroups:
+    def test_detects_overlap(self):
+        g = pipeline(3)
+        profile = _profile_from({1: 10, 2: 10, 3: 10, 4: 10})
+        groups = build_groups(g, profile)
+        bad = groups + [groups[0]]
+        with pytest.raises(ValueError, match="appears in groups"):
+            validate_groups(g, bad)
+
+    def test_detects_omission(self):
+        g = pipeline(3)
+        from repro.core.binning import ProfilingGroup
+
+        groups = [ProfilingGroup(members=(1, 2), representative_metric=1)]
+        with pytest.raises(ValueError, match="partition"):
+            validate_groups(g, groups)
+
+    def test_group_dunder_methods(self):
+        from repro.core.binning import ProfilingGroup
+
+        gr = ProfilingGroup(members=(1, 2, 3), representative_metric=5.0)
+        assert len(gr) == 3
+        assert 2 in gr
+        assert 9 not in gr

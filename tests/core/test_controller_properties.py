@@ -1,0 +1,156 @@
+"""Hypothesis property tests on the elastic controllers.
+
+Invariants that must hold for *any* throughput response, not just the
+benchmark curves: bounds are respected, termination happens, placements
+remain consistent with group state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Direction, ThreadCountElasticity
+from repro.core.binning import ProfilingGroup
+from repro.core.threading_model import ThreadingModelElasticity
+
+
+class TestThreadCountProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        min_threads=st.integers(1, 4),
+        max_threads=st.integers(8, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_levels_always_within_bounds(
+        self, seed, min_threads, max_threads
+    ):
+        rng = np.random.default_rng(seed)
+        c = ThreadCountElasticity(
+            min_threads=min_threads, max_threads=max_threads
+        )
+        for _ in range(120):
+            assert min_threads <= c.current <= max_threads
+            proposal = c.propose(float(rng.uniform(0, 1000)))
+            if proposal is not None:
+                assert min_threads <= proposal <= max_threads
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_terminates_on_random_responses(self, seed):
+        """Even with adversarially random throughput, the search settles
+        within a bounded number of periods."""
+        rng = np.random.default_rng(seed)
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        for step in range(200):
+            if c.settled:
+                break
+            c.propose(float(rng.uniform(0, 1000)))
+        assert c.settled
+
+    @given(
+        peak=st.integers(2, 60),
+        noise_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_settles_on_significantly_suboptimal_measured_level(
+        self, peak, noise_seed
+    ):
+        """The settled level is within SENS of the best *measured* one."""
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        curve = lambda n: float(min(n, max(1, 2 * peak - n)))
+        for _ in range(100):
+            if c.settled:
+                break
+            c.propose(curve(c.current))
+        assert c.settled
+        measured = {
+            lv: c.measurement(lv)
+            for lv in range(1, 65)
+            if c.measurement(lv) is not None
+        }
+        best = max(measured.values())
+        assert measured[c.current] >= best / (1 + c.sens) - 1e-9
+
+
+def _groups_of_sizes(sizes):
+    groups = []
+    next_idx = 1
+    for gi, size in enumerate(sizes):
+        members = tuple(range(next_idx, next_idx + size))
+        next_idx += size
+        groups.append(
+            ProfilingGroup(
+                members=members,
+                representative_metric=1000.0 / (gi + 1),
+            )
+        )
+    return groups
+
+
+class TestThreadingModelProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 12), min_size=1, max_size=4),
+        seed=st.integers(0, 10_000),
+        direction=st.sampled_from([Direction.UP, Direction.DOWN]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_phase_terminates_and_placement_is_subset(
+        self, sizes, seed, direction
+    ):
+        rng = np.random.default_rng(seed)
+        groups = _groups_of_sizes(sizes)
+        all_members = {m for g in groups for m in g.members}
+        tm = ThreadingModelElasticity(seed=seed)
+        if direction is Direction.DOWN:
+            from repro.runtime import QueuePlacement
+
+            tm.set_groups(
+                groups, QueuePlacement.of(sorted(all_members))
+            )
+        else:
+            tm.set_groups(groups)
+        step = tm.begin_phase(direction, float(rng.uniform(1, 100)))
+        for _ in range(300):
+            if step.done:
+                break
+            assert set(step.placement.queued) <= all_members
+            step = tm.step(float(rng.uniform(1, 100)))
+        assert step.done
+        assert set(step.placement.queued) <= all_members
+
+    @given(
+        sizes=st.lists(st.integers(1, 10), min_size=1, max_size=3),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counts_always_match_placement(self, sizes, seed):
+        rng = np.random.default_rng(seed)
+        groups = _groups_of_sizes(sizes)
+        tm = ThreadingModelElasticity(seed=seed)
+        tm.set_groups(groups)
+        step = tm.begin_phase(Direction.UP, 50.0)
+        for _ in range(200):
+            assert sum(tm.counts) == len(tm.placement())
+            if step.done:
+                break
+            step = tm.step(float(rng.uniform(1, 100)))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_flat_response_is_stay(self, seed):
+        """With a perfectly flat objective, every phase must STAY."""
+        from repro.core.threading_model import AdjustDecision
+
+        groups = _groups_of_sizes([8, 4])
+        tm = ThreadingModelElasticity(seed=seed)
+        tm.set_groups(groups)
+        step = tm.begin_phase(Direction.UP, 100.0)
+        for _ in range(100):
+            if step.done:
+                break
+            step = tm.step(100.0)
+        assert step.decision is AdjustDecision.STAY
+        assert len(step.placement) == 0

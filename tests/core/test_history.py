@@ -1,0 +1,89 @@
+"""Tests for the learning-from-history records (§3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdjustmentHistory, AdjustmentRecord, Direction
+from repro.runtime import QueuePlacement
+
+
+class TestRecord:
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            AdjustmentRecord(
+                placement=QueuePlacement.empty(),
+                min_threads=8,
+                max_threads=4,
+            )
+
+    def test_to_continue_within_range(self):
+        r = AdjustmentRecord(QueuePlacement.empty(), 4, 16)
+        assert r.to_continue(8) is Direction.NONE
+        assert r.to_continue(4) is Direction.NONE
+        assert r.to_continue(16) is Direction.NONE
+
+    def test_to_continue_above(self):
+        r = AdjustmentRecord(QueuePlacement.empty(), 4, 16)
+        assert r.to_continue(17) is Direction.UP
+
+    def test_to_continue_below(self):
+        r = AdjustmentRecord(QueuePlacement.empty(), 4, 16)
+        assert r.to_continue(3) is Direction.DOWN
+
+    def test_extend_widens(self):
+        r = AdjustmentRecord(QueuePlacement.empty(), 8, 8)
+        r.extend(16)
+        r.extend(4)
+        assert (r.min_threads, r.max_threads) == (4, 16)
+        assert r.to_continue(10) is Direction.NONE
+
+
+class TestHistory:
+    def test_empty_history_direction_is_up(self):
+        h = AdjustmentHistory()
+        assert h.last is None
+        assert h.direction_for(8) is Direction.UP
+
+    def test_create_entry(self):
+        h = AdjustmentHistory()
+        h.create_entry(QueuePlacement.of([1]), 4)
+        assert len(h) == 1
+        assert h.last.min_threads == 4
+        assert h.last.max_threads == 4
+
+    def test_update_entry_requires_record(self):
+        h = AdjustmentHistory()
+        with pytest.raises(RuntimeError):
+            h.update_entry(4)
+
+    def test_update_entry_extends_last(self):
+        h = AdjustmentHistory()
+        h.create_entry(QueuePlacement.of([1]), 4)
+        h.update_entry(9)
+        assert h.direction_for(6) is Direction.NONE
+        assert h.direction_for(10) is Direction.UP
+        assert h.direction_for(3) is Direction.DOWN
+
+    def test_only_last_record_consulted(self):
+        h = AdjustmentHistory()
+        h.create_entry(QueuePlacement.of([1]), 1)
+        h.update_entry(100)
+        h.create_entry(QueuePlacement.of([1, 2]), 50)
+        # New record covers only 50; the old wide range is irrelevant.
+        assert h.direction_for(10) is Direction.DOWN
+
+    def test_clear(self):
+        h = AdjustmentHistory()
+        h.create_entry(QueuePlacement.empty(), 1)
+        h.clear()
+        assert len(h) == 0
+        assert h.last is None
+
+    def test_paper_scenario_64_to_96(self):
+        """§3.3: placement optimal for both 64 and 96 threads; a later
+        decrease to 80 lands inside the range -> skip adjustment."""
+        h = AdjustmentHistory()
+        h.create_entry(QueuePlacement.of([1, 2, 3]), 64)
+        h.update_entry(96)
+        assert h.direction_for(80) is Direction.NONE

@@ -1,0 +1,105 @@
+"""Tests for trend classification and the throughput sensor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ThroughputSensor,
+    Trend,
+    classify_trend,
+    significantly_better,
+)
+
+
+class TestClassifyTrend:
+    def test_clear_up(self):
+        assert classify_trend(100, 110, sens=0.05) is Trend.UP
+
+    def test_clear_down(self):
+        assert classify_trend(100, 90, sens=0.05) is Trend.DOWN
+
+    def test_within_sens_is_flat(self):
+        assert classify_trend(100, 104, sens=0.05) is Trend.FLAT
+        assert classify_trend(100, 96, sens=0.05) is Trend.FLAT
+
+    def test_boundary_is_flat(self):
+        # Exactly at the threshold does not establish a trend.
+        assert classify_trend(100, 105, sens=0.05) is Trend.FLAT
+
+    def test_zero_previous(self):
+        assert classify_trend(0, 10, sens=0.05) is Trend.UP
+        assert classify_trend(0, 0, sens=0.05) is Trend.FLAT
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_trend(-1, 10, 0.05)
+
+    @given(
+        prev=st.floats(1e-6, 1e9),
+        curr=st.floats(0, 1e9),
+        sens=st.floats(0, 0.5),
+    )
+    def test_property_classification_consistency(self, prev, curr, sens):
+        trend = classify_trend(prev, curr, sens)
+        ratio = curr / prev
+        if trend is Trend.UP:
+            assert ratio > 1 + sens
+        elif trend is Trend.DOWN:
+            assert ratio < 1 - sens
+        else:
+            assert 1 - sens <= ratio <= 1 + sens
+
+    def test_significantly_better_mirrors_up(self):
+        assert significantly_better(110, 100, 0.05)
+        assert not significantly_better(104, 100, 0.05)
+
+
+class TestThroughputSensor:
+    def test_empty_sensor(self):
+        s = ThroughputSensor()
+        assert s.latest is None
+        assert s.previous is None
+        assert s.recent_mean() == 0.0
+        assert s.trend(0.05) is Trend.FLAT
+
+    def test_latest_previous(self):
+        s = ThroughputSensor()
+        s.record(1.0)
+        s.record(2.0)
+        assert s.latest == 2.0
+        assert s.previous == 1.0
+        assert s.count == 2
+
+    def test_rejects_negative(self):
+        s = ThroughputSensor()
+        with pytest.raises(ValueError):
+            s.record(-1.0)
+
+    def test_recent_mean_window(self):
+        s = ThroughputSensor(window=3)
+        for v in (1, 2, 3, 4, 5, 6):
+            s.record(float(v))
+        assert s.recent_mean() == pytest.approx(5.0)
+        assert s.recent_mean(n=2) == pytest.approx(5.5)
+
+    def test_trend(self):
+        s = ThroughputSensor()
+        s.record(100.0)
+        s.record(120.0)
+        assert s.trend(0.05) is Trend.UP
+
+    def test_reset(self):
+        s = ThroughputSensor()
+        s.record(1.0)
+        s.reset()
+        assert s.count == 0
+
+    def test_history_copy(self):
+        s = ThroughputSensor()
+        s.record(1.0)
+        h = s.history()
+        h.append(99.0)
+        assert s.count == 1

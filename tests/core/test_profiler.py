@@ -1,0 +1,95 @@
+"""Tests for the sampling profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SamplingProfiler
+from repro.graph import GraphBuilder, pipeline
+from repro.perfmodel import laptop
+
+
+@pytest.fixture
+def machine():
+    return laptop(8)
+
+
+def _weighted_graph():
+    """Chain with one op 100x more expensive than the others."""
+    b = GraphBuilder("w")
+    src = b.add_source("src", cost_flops=1.0)
+    light = b.add_operator("light", cost_flops=10.0)
+    heavy = b.add_operator("heavy", cost_flops=1000.0)
+    snk = b.add_sink("snk", cost_flops=1.0)
+    b.chain(src, light, heavy, snk)
+    return b.build()
+
+
+class TestExpectedWeights:
+    def test_weights_proportional_to_cost(self, machine):
+        g = _weighted_graph()
+        profiler = SamplingProfiler(machine)
+        w = profiler.expected_weights(g)
+        heavy = g.by_name("heavy").index
+        light = g.by_name("light").index
+        assert w[heavy] / w[light] == pytest.approx(100.0)
+
+    def test_weights_scale_with_rate(self, machine):
+        b = GraphBuilder("r")
+        src = b.add_source("src", cost_flops=1.0, selectivity=10.0)
+        op = b.add_operator("op", cost_flops=100.0)
+        snk = b.add_sink("snk", cost_flops=1.0)
+        b.chain(src, op, snk)
+        g = b.build()
+        w = SamplingProfiler(machine).expected_weights(g)
+        # op processes 10 tuples per source tuple.
+        assert w[op.index] / w[src.index] == pytest.approx(1000.0)
+
+
+class TestProfile:
+    def test_rejects_zero_samples(self, machine):
+        with pytest.raises(ValueError):
+            SamplingProfiler(machine, n_samples=0)
+
+    def test_counts_sum_to_samples(self, machine):
+        profiler = SamplingProfiler(machine, n_samples=500, seed=1)
+        profile = profiler.profile(pipeline(20))
+        assert sum(profile.as_dict().values()) == 500
+        assert profile.n_samples == 500
+
+    def test_heavy_operator_dominates_samples(self, machine):
+        g = _weighted_graph()
+        profiler = SamplingProfiler(machine, n_samples=2000, seed=2)
+        profile = profiler.profile(g)
+        counts = profile.as_dict()
+        heavy = g.by_name("heavy").index
+        assert counts[heavy] > 0.9 * 2000
+
+    def test_seeded_reproducibility(self, machine):
+        g = pipeline(10)
+        a = SamplingProfiler(machine, n_samples=100, seed=7).profile(g)
+        b = SamplingProfiler(machine, n_samples=100, seed=7).profile(g)
+        assert a.counts == b.counts
+
+    def test_converges_to_expected_distribution(self, machine):
+        g = _weighted_graph()
+        profiler = SamplingProfiler(machine, n_samples=100_000, seed=3)
+        profile = profiler.profile(g)
+        weights = profiler.expected_weights(g)
+        total_w = sum(weights.values())
+        for idx, count in profile.counts:
+            expected = weights[idx] / total_w
+            assert count / 100_000 == pytest.approx(expected, abs=0.01)
+
+    def test_metric_lookup(self, machine):
+        profile = SamplingProfiler(machine, seed=1).profile(pipeline(5))
+        assert profile.metric(1) >= 0
+        with pytest.raises(KeyError):
+            profile.metric(999)
+
+    def test_nonzero_filter(self, machine):
+        g = _weighted_graph()
+        profile = SamplingProfiler(machine, n_samples=50, seed=4).profile(g)
+        nz = profile.nonzero()
+        assert all(c > 0 for c in nz.values())

@@ -1,0 +1,107 @@
+"""Tests for SASO property analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze, count_oscillations
+from repro.runtime import (
+    AdaptationTrace,
+    Observation,
+    ThreadCountChange,
+)
+
+
+def _obs(t, throughput, threads=1, queues=0):
+    return Observation(
+        time_s=t,
+        throughput=throughput,
+        true_throughput=throughput,
+        threads=threads,
+        n_queues=queues,
+        mode="stable",
+    )
+
+
+class TestCountOscillations:
+    def test_monotone_series_has_none(self):
+        series = [(float(i), i) for i in range(10)]
+        assert count_oscillations(series, after_s=0.0) == 0
+
+    def test_explore_and_revert_tolerated(self):
+        # 1 -> 2 -> 1: trying a value once and reverting is search, not
+        # oscillation.
+        series = [(0.0, 1), (1.0, 2), (2.0, 1)]
+        assert count_oscillations(series, after_s=0.0) == 0
+
+    def test_ping_pong_counts(self):
+        # 1 -> 2 -> 1 -> 2 -> 1: value 1 is visited three times (one
+        # beyond the explore-and-revert allowance).
+        series = [
+            (0.0, 1), (1.0, 2), (2.0, 1), (3.0, 2), (4.0, 1),
+        ]
+        assert count_oscillations(series, after_s=0.0) == 1
+
+    def test_exploration_window_exempt(self):
+        series = [(0.0, 1), (1.0, 2), (2.0, 1), (10.0, 1), (11.0, 1)]
+        assert count_oscillations(series, after_s=5.0) == 0
+
+    def test_constant_series(self):
+        series = [(float(i), 5) for i in range(10)]
+        assert count_oscillations(series, after_s=0.0) == 0
+
+    def test_empty(self):
+        assert count_oscillations([], after_s=0.0) == 0
+
+
+class TestAnalyze:
+    def _trace(self, values, threads=None):
+        t = AdaptationTrace.empty()
+        threads = threads or [1] * len(values)
+        for i, (v, thr) in enumerate(zip(values, threads)):
+            t.observations.append(_obs(5.0 * (i + 1), v, threads=thr))
+        return t
+
+    def test_clean_convergence(self):
+        values = [100, 200, 400, 500, 500, 500, 500, 500, 500, 500, 500, 500]
+        threads = [1, 2, 4, 8, 8, 8, 8, 8, 8, 8, 8, 8]
+        trace = self._trace(values, threads)
+        report = analyze(trace, reference_throughput=500.0)
+        assert report.stability_ok
+        assert report.accuracy_ratio == pytest.approx(1.0)
+        assert report.overshoot_threads == 0
+        assert report.settling_time_s <= 20.0
+
+    def test_overshoot_detected(self):
+        values = [100, 200, 400, 500] + [500] * 10
+        threads = [1, 4, 32, 8] + [8] * 10
+        trace = self._trace(values, threads)
+        report = analyze(trace)
+        assert report.overshoot_threads == 24
+
+    def test_accuracy_against_reference(self):
+        values = [400] * 12
+        trace = self._trace(values)
+        report = analyze(trace, reference_throughput=500.0)
+        assert report.accuracy_ratio == pytest.approx(0.8)
+
+    def test_no_reference_gives_none(self):
+        report = analyze(self._trace([1.0] * 10))
+        assert report.accuracy_ratio is None
+
+    def test_instability_detected(self):
+        trace = self._trace([100] * 20)
+        # Thread count ping-pongs long after throughput settled.
+        for i, o in enumerate(trace.observations):
+            trace.observations[i] = _obs(
+                o.time_s, 100, threads=2 if i % 2 else 4
+            )
+        report = analyze(trace)
+        assert not report.stability_ok
+
+    def test_summary_renders(self):
+        report = analyze(self._trace([100] * 10), reference_throughput=100.0)
+        text = report.summary()
+        assert "stability" in text
+        assert "accuracy" in text
+        assert "overshoot" in text

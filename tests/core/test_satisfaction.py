@@ -1,0 +1,101 @@
+"""Tests for the satisfaction-factor optimization (§3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    SatisfactionSample,
+    measured_satisfaction,
+    should_skip_secondary,
+)
+
+
+def _sample(prev_t, curr_t, prev_n, new_n):
+    return SatisfactionSample(
+        prev_throughput=prev_t,
+        curr_throughput=curr_t,
+        prev_threads=prev_n,
+        new_threads=new_n,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            _sample(1, 1, 0, 1)
+
+    def test_rejects_negative_throughput(self):
+        with pytest.raises(ValueError):
+            _sample(-1, 1, 1, 2)
+
+
+class TestMeasuredSatisfaction:
+    def test_linear_scaling_is_one(self):
+        # 2x threads -> 2x throughput: sf = 1.
+        assert measured_satisfaction(_sample(100, 200, 4, 8)) == pytest.approx(
+            1.0
+        )
+
+    def test_no_gain_is_zero(self):
+        assert measured_satisfaction(_sample(100, 100, 4, 8)) == 0.0
+
+    def test_free_win_is_inf(self):
+        assert measured_satisfaction(_sample(100, 150, 4, 4)) == math.inf
+
+    def test_free_loss_is_neg_inf(self):
+        assert measured_satisfaction(_sample(100, 50, 4, 4)) == -math.inf
+
+    def test_zero_prev_throughput(self):
+        assert measured_satisfaction(_sample(0, 50, 4, 8)) == math.inf
+
+    def test_decrease_with_held_throughput_is_zero_gain(self):
+        # Fewer threads, same throughput: gain 0 / negative thread gain.
+        assert measured_satisfaction(_sample(100, 100, 8, 4)) == 0.0
+
+
+class TestShouldSkip:
+    def test_paper_fig6c_case(self):
+        """sf=0.6: doubling threads with >80% gain skips the secondary."""
+        assert should_skip_secondary(_sample(100, 185, 8, 16), 0.6)
+
+    def test_disappointing_gain_triggers_secondary(self):
+        # Doubling threads for 10% gain at threshold 0.6 -> no skip.
+        assert not should_skip_secondary(_sample(100, 110, 8, 16), 0.6)
+
+    def test_threshold_zero_skips_unless_drop(self):
+        """Fig. 6(d): sf=0 means only a performance drop triggers."""
+        assert should_skip_secondary(_sample(100, 101, 16, 32), 0.0)
+        assert not should_skip_secondary(_sample(100, 80, 16, 32), 0.0)
+
+    def test_thread_decrease_with_mild_drop_skips(self):
+        # Halving threads while keeping 90% throughput: perf_gain -0.1 >
+        # 0.6 * (-0.5) -> skip (the decrease paid off).
+        assert should_skip_secondary(_sample(100, 90, 8, 4), 0.6)
+
+    def test_thread_decrease_with_collapse_triggers(self):
+        # Halving threads losing 60% throughput: -0.6 < 0.6*-0.5 -> run
+        # the secondary adjustment.
+        assert not should_skip_secondary(_sample(100, 40, 8, 4), 0.6)
+
+    def test_zero_prev_throughput_skips_on_recovery(self):
+        assert should_skip_secondary(_sample(0, 10, 1, 2), 0.6)
+        assert not should_skip_secondary(_sample(0, 0, 1, 2), 0.6)
+
+    @given(
+        prev_t=st.floats(1, 1e6),
+        curr_t=st.floats(0, 1e6),
+        prev_n=st.integers(1, 128),
+        new_n=st.integers(1, 128),
+        thre=st.floats(0, 1),
+    )
+    def test_property_matches_paper_inequality(
+        self, prev_t, curr_t, prev_n, new_n, thre
+    ):
+        sample = _sample(prev_t, curr_t, prev_n, new_n)
+        expected = (curr_t / prev_t - 1.0) > thre * (new_n / prev_n - 1.0)
+        assert should_skip_secondary(sample, thre) == expected

@@ -1,0 +1,143 @@
+"""Tests for the thread-count elastic controller.
+
+The controller is driven against synthetic throughput curves; a small
+driver loop feeds it the curve value for its current level until it
+settles, recording the visited levels.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ThreadCountElasticity
+
+
+def drive(controller, curve, max_steps=100):
+    """Feed `curve(level)` to the controller until it settles."""
+    visited = [controller.current]
+    for _ in range(max_steps):
+        proposal = controller.propose(curve(controller.current))
+        if proposal is not None:
+            visited.append(proposal)
+        elif controller.settled:
+            break
+    return visited
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ThreadCountElasticity(min_threads=0)
+        with pytest.raises(ValueError):
+            ThreadCountElasticity(min_threads=8, max_threads=4)
+        with pytest.raises(ValueError):
+            ThreadCountElasticity(
+                min_threads=1, max_threads=4, initial_threads=8
+            )
+
+    def test_rejects_negative_observation(self):
+        c = ThreadCountElasticity(max_threads=8)
+        with pytest.raises(ValueError):
+            c.propose(-1.0)
+
+
+class TestMonotoneCurves:
+    def test_climbs_to_max_when_linear(self):
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        drive(c, lambda n: float(n))
+        assert c.settled
+        assert c.current == 64
+
+    def test_explores_geometrically(self):
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        visited = drive(c, lambda n: float(n))
+        assert visited[:7] == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_stays_at_min_when_flat(self):
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        drive(c, lambda n: 100.0)
+        assert c.settled
+        # Flat curve: the first doubling shows no improvement and the
+        # refinement collapses back to the minimum (overshoot
+        # avoidance).
+        assert c.current <= 2
+
+    def test_single_level_settles_immediately(self):
+        c = ThreadCountElasticity(min_threads=4, max_threads=4,
+                                  initial_threads=4)
+        assert c.propose(10.0) is None
+        assert c.settled
+
+
+class TestUnimodalCurves:
+    @pytest.mark.parametrize("peak", [6, 12, 24, 48])
+    def test_finds_neighborhood_of_peak(self, peak):
+        # Tent curve: strong relative gains while climbing, clear
+        # degradation past the peak -- the shape real scaling has.
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        drive(c, lambda n: float(min(n, max(1, 2 * peak - n))))
+        assert c.settled
+        # Within the refinement granularity of the peak.
+        assert abs(c.current - peak) <= max(2, round(0.25 * peak))
+
+    def test_settles_on_best_measured(self):
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        curve = lambda n: float(min(n, max(1, 32 - n)))
+        drive(c, curve)
+        best_measured = max(
+            (lv for lv in range(1, 65) if c.measurement(lv) is not None),
+            key=lambda lv: c.measurement(lv),
+        )
+        assert c.current == best_measured
+
+
+class TestRebaseAndReset:
+    def test_rebase_overwrites_measurement(self):
+        c = ThreadCountElasticity(max_threads=8)
+        c.propose(100.0)
+        c.rebase(500.0)
+        assert c.measurement(c.current) is not None
+
+    def test_reset_restarts_exploration(self):
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        drive(c, lambda n: float(n))
+        assert c.settled
+        c.reset()
+        assert not c.settled
+
+    def test_reset_explores_upward_first(self):
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        drive(c, lambda n: float(min(n, max(1, 16 - n))))
+        level_before = c.current
+        c.reset()
+        proposal = c.propose(100.0)
+        assert proposal is not None and proposal > level_before
+
+    def test_reset_can_adapt_downward(self):
+        """After a workload shrink the optimum may be below the anchor."""
+        c = ThreadCountElasticity(min_threads=1, max_threads=64)
+        drive(c, lambda n: float(min(n, max(1, 64 - n))))
+        anchor = c.current
+        assert anchor >= 24
+        c.reset()
+        # New workload peaks at 4 threads.
+        drive(c, lambda n: max(1.0, 1000.0 - (n - 4) ** 2))
+        assert c.settled
+        assert c.current < anchor
+
+
+class TestSensitivity:
+    def test_small_gains_below_sens_do_not_drive_up(self):
+        # 1% gain per doubling is below the 5% SENS threshold.
+        c = ThreadCountElasticity(min_threads=1, max_threads=64, sens=0.05)
+        drive(c, lambda n: 100.0 * (1.0 + 0.01 * math.log2(n or 1)))
+        assert c.current <= 2
+
+    def test_lower_sens_chases_small_gains(self):
+        c = ThreadCountElasticity(
+            min_threads=1, max_threads=64, sens=0.001
+        )
+        drive(c, lambda n: 100.0 + n * 0.5)
+        assert c.current == 64

@@ -1,0 +1,233 @@
+"""Tests for the threading model elasticity (§3.1, rules R1-R5).
+
+The controller is driven against synthetic throughput functions over
+queue placements, exactly as the coordinator would drive it: begin a
+phase, then feed one observation per emitted trial placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import pytest
+
+from repro.core import (
+    AdjustDecision,
+    Direction,
+    ThreadingModelElasticity,
+)
+from repro.core.binning import ProfilingGroup
+from repro.runtime import QueuePlacement
+
+
+def drive_phase(
+    controller: ThreadingModelElasticity,
+    direction: Direction,
+    throughput_of: Callable[[QueuePlacement], float],
+    max_steps: int = 200,
+) -> Tuple[AdjustDecision, QueuePlacement, List[QueuePlacement]]:
+    """Run one full phase; returns (decision, final placement, trials)."""
+    baseline = throughput_of(controller.placement())
+    step = controller.begin_phase(direction, baseline)
+    trials = []
+    for _ in range(max_steps):
+        if step.done:
+            return step.decision, step.placement, trials
+        trials.append(step.placement)
+        step = controller.step(throughput_of(step.placement))
+    raise AssertionError("phase did not terminate")
+
+
+def groups_of(*member_lists) -> List[ProfilingGroup]:
+    return [
+        ProfilingGroup(
+            members=tuple(m), representative_metric=1000.0 / (gi + 1)
+        )
+        for gi, m in enumerate(member_lists)
+    ]
+
+
+class TestPhaseBasics:
+    def test_begin_requires_direction(self):
+        tm = ThreadingModelElasticity()
+        tm.set_groups(groups_of([1, 2, 3]))
+        with pytest.raises(ValueError):
+            tm.begin_phase(Direction.NONE, 100.0)
+
+    def test_step_outside_phase_raises(self):
+        tm = ThreadingModelElasticity()
+        tm.set_groups(groups_of([1, 2]))
+        with pytest.raises(RuntimeError):
+            tm.step(1.0)
+
+    def test_up_with_everything_saturated_stays(self):
+        tm = ThreadingModelElasticity()
+        tm.set_groups(
+            groups_of([1, 2]),
+            current_placement=QueuePlacement.of([1, 2]),
+        )
+        step = tm.begin_phase(Direction.UP, 100.0)
+        assert step.done
+        assert step.decision is AdjustDecision.STAY
+
+    def test_down_with_no_queues_stays(self):
+        tm = ThreadingModelElasticity()
+        tm.set_groups(groups_of([1, 2]))
+        step = tm.begin_phase(Direction.DOWN, 100.0)
+        assert step.done
+        assert step.decision is AdjustDecision.STAY
+
+    def test_no_groups_stays(self):
+        tm = ThreadingModelElasticity()
+        tm.set_groups([])
+        step = tm.begin_phase(Direction.UP, 100.0)
+        assert step.done
+
+
+class TestUpSearch:
+    def test_monotone_gain_queues_whole_group_and_continues(self):
+        """More queues always better -> both groups fully dynamic."""
+        tm = ThreadingModelElasticity(seed=1)
+        tm.set_groups(groups_of([1, 2, 3, 4], [5, 6]))
+        decision, placement, _trials = drive_phase(
+            tm, Direction.UP, lambda p: 100.0 * (1 + len(p))
+        )
+        assert decision is AdjustDecision.CHANGE
+        assert len(placement) == 6
+
+    def test_no_gain_reverts_to_start(self):
+        tm = ThreadingModelElasticity(seed=1)
+        tm.set_groups(groups_of([1, 2, 3, 4, 5, 6, 7, 8]))
+        decision, placement, trials = drive_phase(
+            tm, Direction.UP, lambda p: 100.0
+        )
+        assert decision is AdjustDecision.STAY
+        assert len(placement) == 0
+        assert trials  # it did explore before reverting
+
+    def test_degradation_reverts_to_start(self):
+        tm = ThreadingModelElasticity(seed=1)
+        tm.set_groups(groups_of([1, 2, 3, 4, 5, 6, 7, 8]))
+        decision, placement, _ = drive_phase(
+            tm, Direction.UP, lambda p: 100.0 / (1 + len(p))
+        )
+        assert decision is AdjustDecision.STAY
+        assert len(placement) == 0
+
+    def test_interior_optimum_found(self):
+        """Unimodal in queue count: peak at 4 of 16."""
+        tm = ThreadingModelElasticity(seed=1)
+        tm.set_groups(groups_of(list(range(1, 17))))
+
+        def curve(p):
+            k = len(p)
+            return float(min(k, max(1, 8 - k)) * 100 + 100)
+
+        decision, placement, _ = drive_phase(tm, Direction.UP, curve)
+        assert decision is AdjustDecision.CHANGE
+        assert 3 <= len(placement) <= 5
+
+    def test_first_group_explored_first(self):
+        tm = ThreadingModelElasticity(seed=1)
+        tm.set_groups(groups_of([1, 2], [3, 4]))
+        _d, _p, trials = drive_phase(
+            tm, Direction.UP, lambda p: 100.0 * (1 + len(p))
+        )
+        first = trials[0]
+        assert set(first.queued) <= {1, 2}
+
+    def test_selection_within_group_is_nested(self):
+        """Growing counts reuse previously queued members (subsets)."""
+        tm = ThreadingModelElasticity(seed=3)
+        tm.set_groups(groups_of(list(range(1, 11))))
+        _d, _p, trials = drive_phase(
+            tm, Direction.UP, lambda p: 100.0 * (1 + len(p))
+        )
+        for a, b in zip(trials, trials[1:]):
+            small, big = (
+                (a, b) if len(a) <= len(b) else (b, a)
+            )
+            assert small.queued <= big.queued
+
+
+class TestDownSearch:
+    def _saturated(self, *member_lists):
+        tm = ThreadingModelElasticity(seed=1)
+        all_members = [m for ml in member_lists for m in ml]
+        tm.set_groups(
+            groups_of(*member_lists),
+            current_placement=QueuePlacement.of(all_members),
+        )
+        return tm
+
+    def test_removal_helps_everything_removed(self):
+        tm = self._saturated([1, 2, 3], [4, 5])
+        decision, placement, _ = drive_phase(
+            tm, Direction.DOWN, lambda p: 100.0 * (10 - len(p))
+        )
+        assert decision is AdjustDecision.CHANGE
+        assert len(placement) == 0
+
+    def test_removal_hurts_stays_full(self):
+        tm = self._saturated([1, 2, 3], [4, 5])
+        decision, placement, _ = drive_phase(
+            tm, Direction.DOWN, lambda p: 100.0 * (1 + len(p))
+        )
+        assert decision is AdjustDecision.STAY
+        assert len(placement) == 5
+
+    def test_down_starts_with_lightest_group(self):
+        tm = self._saturated([1, 2], [3, 4])
+        _d, _p, trials = drive_phase(
+            tm, Direction.DOWN, lambda p: 100.0 * (10 - len(p))
+        )
+        # The first trial must remove members of the *lightest* group
+        # (3, 4) while the heavy group stays queued.
+        first = trials[0]
+        assert {1, 2} <= first.queued
+
+    def test_interior_optimum_from_above(self):
+        tm = self._saturated(list(range(1, 17)))
+
+        def curve(p):
+            # Strictly unimodal with peak at 4 queues; no plateaus
+            # (two-point trend search cannot cross flat regions).
+            k = len(p)
+            if k <= 4:
+                return 100.0 + 100.0 * k
+            return max(50.0, 500.0 - 50.0 * (k - 4))
+
+        decision, placement, _ = drive_phase(tm, Direction.DOWN, curve)
+        assert decision is AdjustDecision.CHANGE
+        assert 3 <= len(placement) <= 5
+
+
+class TestNoiseRobustness:
+    def test_flat_with_small_noise_stays(self):
+        """Noise below SENS must not produce a CHANGE decision."""
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        tm = ThreadingModelElasticity(seed=1, sens=0.05)
+        tm.set_groups(groups_of(list(range(1, 21))))
+        decision, placement, _ = drive_phase(
+            tm,
+            Direction.UP,
+            lambda p: 100.0 * (1 + rng.normal(0, 0.01)),
+        )
+        assert decision is AdjustDecision.STAY
+        assert len(placement) == 0
+
+
+class TestSetGroups:
+    def test_existing_placement_preserved(self):
+        tm = ThreadingModelElasticity(seed=1)
+        placement = QueuePlacement.of([2, 5])
+        tm.set_groups(groups_of([1, 2, 3], [4, 5, 6]), placement)
+        assert tm.placement().queued == placement.queued
+        assert tm.counts == (1, 1)
+
+    def test_placement_property_matches_counts(self):
+        tm = ThreadingModelElasticity(seed=1)
+        tm.set_groups(groups_of([1, 2, 3]))
+        assert len(tm.placement()) == 0

@@ -1,0 +1,127 @@
+"""Determinism and conservation properties of the DES substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import DesEngine, Simulator, SimQueue, measure_throughput
+from repro.des.kernel import Get, Put, Timeout
+from repro.graph import pipeline
+from repro.perfmodel import laptop
+from repro.runtime import QueuePlacement
+
+
+def _even(graph, k):
+    eligible = [op.index for op in graph if not op.is_source]
+    step = len(eligible) / k
+    return QueuePlacement.of(eligible[int(i * step)] for i in range(k))
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        """The DES contains no randomness: bit-identical replays."""
+        g = pipeline(8, cost_flops=2000.0, payload_bytes=128)
+        m = laptop(4)
+        placement = _even(g, 3)
+        a = measure_throughput(
+            g, m, placement, 3, warmup_s=0.004, measure_s=0.02
+        )
+        b = measure_throughput(
+            g, m, placement, 3, warmup_s=0.004, measure_s=0.02
+        )
+        assert a.sink_tuples == b.sink_tuples
+        assert a.queue_occupancy == b.queue_occupancy
+        assert a.thread_busy_fraction == b.thread_busy_fraction
+
+    def test_longer_window_scales_counts(self):
+        g = pipeline(6, cost_flops=2000.0, payload_bytes=128)
+        m = laptop(4)
+        placement = _even(g, 2)
+        short = measure_throughput(
+            g, m, placement, 2, warmup_s=0.005, measure_s=0.01
+        )
+        long = measure_throughput(
+            g, m, placement, 2, warmup_s=0.005, measure_s=0.04
+        )
+        assert long.sink_tuples_per_s == pytest.approx(
+            short.sink_tuples_per_s, rel=0.1
+        )
+
+
+class TestKernelConservation:
+    """Random producer/consumer schedules preserve queue accounting."""
+
+    @given(
+        seed=st.integers(0, 100_000),
+        n_producers=st.integers(1, 4),
+        n_consumers=st.integers(1, 4),
+        capacity=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_put_get_accounting(
+        self, seed, n_producers, n_consumers, capacity
+    ):
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        q = SimQueue(capacity=capacity)
+        produced = {"n": 0}
+        consumed = {"n": 0}
+
+        def producer(delays):
+            for d in delays:
+                yield Timeout(d)
+                yield Put(q, object())
+                produced["n"] += 1
+
+        def consumer(delays):
+            for d in delays:
+                yield Timeout(d)
+                yield Get(q)
+                consumed["n"] += 1
+
+        for _ in range(n_producers):
+            delays = rng.uniform(0, 1e-3, size=20).tolist()
+            sim.spawn(producer(delays))
+        for _ in range(n_consumers):
+            delays = rng.uniform(0, 1e-3, size=20).tolist()
+            sim.spawn(consumer(delays))
+        sim.run_until(10.0)
+
+        # Conservation: everything put was either got or still queued.
+        assert q.total_put == produced["n"]
+        assert q.total_got == consumed["n"]
+        assert q.total_put - q.total_got == len(q)
+        assert 0 <= len(q) <= capacity
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_time_never_regresses(self, seed):
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        stamps = []
+
+        def proc(delays):
+            for d in delays:
+                yield Timeout(d)
+                stamps.append(sim.now)
+
+        for _ in range(3):
+            sim.spawn(proc(rng.uniform(0, 1e-2, size=15).tolist()))
+        sim.run_until(1.0)
+        assert stamps == sorted(stamps)
+
+
+class TestEngineConservation:
+    def test_tuples_conserved_through_queues(self):
+        """Everything pushed into every queue is eventually popped or
+        still resident at measurement end."""
+        g = pipeline(8, cost_flops=500.0, payload_bytes=64)
+        m = laptop(4)
+        engine = DesEngine(g, m, _even(g, 3), 3, queue_capacity=8)
+        engine.run(warmup_s=0.002, measure_s=0.01)
+        for q in engine._queues.values():
+            assert q.total_put - q.total_got == len(q)
+            assert 0 <= len(q) <= q.capacity

@@ -1,0 +1,100 @@
+"""Tests for DES thread-utilization accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import measure_throughput
+from repro.graph import pipeline
+from repro.perfmodel import laptop
+from repro.runtime import QueuePlacement
+
+
+def _even(graph, k):
+    eligible = [op.index for op in graph if not op.is_source]
+    step = len(eligible) / k
+    return QueuePlacement.of(eligible[int(i * step)] for i in range(k))
+
+
+class TestThreadUtilization:
+    def test_fractions_bounded(self):
+        g = pipeline(8, cost_flops=2000.0, payload_bytes=128)
+        r = measure_throughput(
+            g, laptop(4), _even(g, 3), 3, warmup_s=0.004, measure_s=0.02
+        )
+        assert r.thread_busy_fraction
+        for _name, frac in r.thread_busy_fraction:
+            assert 0.0 <= frac <= 1.0
+
+    def test_saturated_scheduler_threads_are_busy(self):
+        # Queues immediately after the source: nearly all work lives in
+        # the 4 dynamic regions, so 3 scheduler threads saturate.
+        g = pipeline(8, cost_flops=2000.0, payload_bytes=128)
+        r = measure_throughput(
+            g, laptop(4), _even(g, 4), 3, warmup_s=0.004, measure_s=0.02
+        )
+        sched = [
+            frac
+            for name, frac in r.thread_busy_fraction
+            if name.startswith("sched:")
+        ]
+        assert sum(sched) / len(sched) > 0.7
+
+    def test_bottleneck_starves_downstream_threads(self):
+        """Port-protected regions: a serial upstream bottleneck keeps
+        downstream scheduler threads partially idle — utilization
+        reflects pipeline physics, not thread count."""
+        g = pipeline(8, cost_flops=2000.0, payload_bytes=128)
+        # Queues only in the tail: the fat source region throttles.
+        eligible = [op.index for op in g if not op.is_source]
+        placement = QueuePlacement.of(eligible[5:8])
+        r = measure_throughput(
+            g, laptop(4), placement, 3, warmup_s=0.004, measure_s=0.02
+        )
+        sched = [
+            frac
+            for name, frac in r.thread_busy_fraction
+            if name.startswith("sched:")
+        ]
+        src = [
+            frac
+            for name, frac in r.thread_busy_fraction
+            if name.startswith("src:")
+        ]
+        assert src[0] > max(sched)
+
+    def test_excess_threads_are_mostly_idle(self):
+        """More scheduler threads than queues: the extras starve."""
+        g = pipeline(8, cost_flops=2000.0, payload_bytes=128)
+        r = measure_throughput(
+            g, laptop(8), _even(g, 2), 6, warmup_s=0.004, measure_s=0.02
+        )
+        sched = [
+            frac
+            for name, frac in r.thread_busy_fraction
+            if name.startswith("sched:")
+        ]
+        # With 2 queues at most ~2 threads' worth of dynamic work
+        # exists; the aggregate scheduler busy time cannot exceed it.
+        assert sum(sched) < 3.0
+
+    def test_manual_run_reports_source_thread_only(self):
+        g = pipeline(4, cost_flops=1000.0)
+        r = measure_throughput(
+            g, laptop(4), QueuePlacement.empty(), 0,
+            warmup_s=0.002, measure_s=0.01,
+        )
+        names = [name for name, _f in r.thread_busy_fraction]
+        assert names == ["src:0"]
+
+    def test_mean_utilization_empty_default(self):
+        from repro.des.engine import DesResult
+
+        r = DesResult(
+            sink_tuples_per_s=0,
+            source_tuples_per_s=0,
+            measured_window_s=0,
+            sink_tuples=0,
+            queue_occupancy=(),
+        )
+        assert r.mean_utilization == 0.0

@@ -1,0 +1,77 @@
+"""Tests for graph structural analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import data_parallel, pipeline
+from repro.graph.analysis import (
+    critical_path_cost,
+    functional_indices,
+    levelize,
+    queueable_indices,
+    stats,
+    width_profile,
+)
+
+
+class TestLevelize:
+    def test_chain_levels_increase(self, chain10):
+        levels = levelize(chain10)
+        order = chain10.topological_order()
+        for idx in order:
+            for succ in chain10.successors(idx):
+                assert levels[succ] == levels[idx] + 1
+
+    def test_diamond_longest_path(self, diamond):
+        levels = levelize(diamond)
+        assert levels[diamond.by_name("d").index] == 3
+        assert levels[diamond.by_name("snk").index] == 4
+
+
+class TestWidthProfile:
+    def test_chain_width_is_one(self, chain10):
+        assert max(width_profile(chain10)) == 1
+
+    def test_dp_width(self):
+        assert max(width_profile(data_parallel(16))) == 16
+
+    def test_profile_sums_to_operator_count(self, diamond):
+        assert sum(width_profile(diamond)) == len(diamond)
+
+
+class TestCriticalPath:
+    def test_chain_critical_path_is_total(self, chain10):
+        assert critical_path_cost(chain10) == pytest.approx(
+            chain10.total_cost_flops()
+        )
+
+    def test_diamond_takes_heavier_branch(self, diamond):
+        # src(10) + a(100) + c(300) + d(100) + snk(10)
+        assert critical_path_cost(diamond) == pytest.approx(520.0)
+
+
+class TestIndexHelpers:
+    def test_queueable_excludes_sources(self, diamond):
+        q = queueable_indices(diamond)
+        assert diamond.by_name("src").index not in q
+        assert diamond.by_name("snk").index in q
+
+    def test_functional_matches_queueable(self, diamond):
+        assert functional_indices(diamond) == queueable_indices(diamond)
+
+
+class TestStats:
+    def test_pipeline_stats(self):
+        s = stats(pipeline(10, cost_flops=100.0))
+        assert s.n_operators == 12
+        assert s.n_edges == 11
+        assert s.depth == 11
+        assert s.max_width == 1
+        assert s.total_cost_flops == pytest.approx(1020.0)
+
+    def test_dp_stats(self):
+        s = stats(data_parallel(5))
+        assert s.max_fan_out == 5
+        assert s.max_fan_in == 5
+        assert s.depth == 2

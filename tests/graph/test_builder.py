@@ -1,0 +1,132 @@
+"""Tests for the GraphBuilder DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    FanoutPolicy,
+    GraphBuilder,
+    GraphValidationError,
+    TupleSpec,
+)
+
+
+class TestNodeConstruction:
+    def test_indices_assigned_in_order(self):
+        b = GraphBuilder()
+        s = b.add_source("s")
+        o = b.add_operator("o")
+        k = b.add_sink("k")
+        assert (s.index, o.index, k.index) == (0, 1, 2)
+
+    def test_duplicate_name_rejected_eagerly(self):
+        b = GraphBuilder()
+        b.add_source("x")
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            b.add_operator("x")
+
+    def test_sink_locks_by_default(self):
+        b = GraphBuilder()
+        assert b.add_sink("k").uses_lock is True
+
+    def test_sink_lock_can_be_disabled(self):
+        b = GraphBuilder()
+        assert b.add_sink("k", uses_lock=False).uses_lock is False
+
+    def test_fanout_policy_propagates(self):
+        b = GraphBuilder()
+        op = b.add_operator("o", fanout=FanoutPolicy.SPLIT)
+        assert op.fanout is FanoutPolicy.SPLIT
+
+    def test_operator_count(self):
+        b = GraphBuilder()
+        b.add_source("s")
+        b.add_operator("o")
+        assert b.operator_count == 2
+
+
+class TestWiring:
+    def _base(self):
+        b = GraphBuilder()
+        s = b.add_source("s")
+        o = b.add_operator("o")
+        k = b.add_sink("k")
+        return b, s, o, k
+
+    def test_connect_by_object_name_and_index(self):
+        b, s, o, k = self._base()
+        b.connect(s, "o")
+        b.connect(1, k)
+        g = b.build()
+        assert g.successors(s.index) == (o.index,)
+        assert g.successors(o.index) == (k.index,)
+
+    def test_connect_unknown_name_rejected(self):
+        b, s, o, k = self._base()
+        with pytest.raises(GraphValidationError, match="unknown"):
+            b.connect(s, "ghost")
+
+    def test_connect_unknown_index_rejected(self):
+        b, s, o, k = self._base()
+        with pytest.raises(GraphValidationError, match="unknown"):
+            b.connect(s, 17)
+
+    def test_connect_bad_type_rejected(self):
+        b, s, o, k = self._base()
+        with pytest.raises(TypeError):
+            b.connect(s, 3.14)  # type: ignore[arg-type]
+
+    def test_chain_needs_two(self):
+        b, s, o, k = self._base()
+        with pytest.raises(GraphValidationError, match="two"):
+            b.chain(s)
+
+    def test_chain_wires_sequence(self):
+        b, s, o, k = self._base()
+        b.chain(s, o, k)
+        g = b.build()
+        assert g.fan_out(s.index) == 1
+        assert g.fan_in(k.index) == 1
+
+    def test_fan_out_and_fan_in(self):
+        b = GraphBuilder()
+        s = b.add_source("s")
+        ops = [b.add_operator(f"o{i}") for i in range(3)]
+        k = b.add_sink("k")
+        b.fan_out(s, ops)
+        b.fan_in(ops, k)
+        g = b.build()
+        assert g.fan_out(s.index) == 3
+        assert g.fan_in(k.index) == 3
+
+
+class TestBuild:
+    def test_build_uses_payload_bytes(self):
+        b = GraphBuilder(payload_bytes=4096)
+        s = b.add_source("s")
+        k = b.add_sink("k")
+        b.connect(s, k)
+        assert b.build().tuple_spec.payload_bytes == 4096
+
+    def test_build_tuple_spec_override(self):
+        b = GraphBuilder(payload_bytes=4096)
+        s = b.add_source("s")
+        k = b.add_sink("k")
+        b.connect(s, k)
+        g = b.build(TupleSpec(payload_bytes=1))
+        assert g.tuple_spec.payload_bytes == 1
+
+    def test_build_validates_structure(self):
+        b = GraphBuilder()
+        b.add_source("s")
+        b.add_operator("orphan")
+        b.add_sink("k")
+        with pytest.raises(GraphValidationError):
+            b.build()
+
+    def test_connect_returns_self_for_chaining(self):
+        b = GraphBuilder()
+        s = b.add_source("s")
+        k = b.add_sink("k")
+        assert b.connect(s, k) is b

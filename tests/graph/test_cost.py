@@ -1,0 +1,110 @@
+"""Tests for cost distributions (§4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    assign_costs,
+    balanced,
+    cost_classes,
+    pipeline,
+    skewed,
+)
+from repro.graph.cost import (
+    HEAVY_FLOPS,
+    LIGHT_FLOPS,
+    MEDIUM_FLOPS,
+    CostDistribution,
+)
+
+
+class TestDistributionSpecs:
+    def test_balanced_is_balanced(self):
+        d = balanced(250.0)
+        assert d.is_balanced
+        assert d.uniform_flops == 250.0
+
+    def test_skewed_defaults_match_paper(self):
+        d = skewed()
+        assert d.heavy_fraction == pytest.approx(0.10)
+        assert d.medium_fraction == pytest.approx(0.30)
+        assert d.heavy_flops == 10_000.0
+        assert d.medium_flops == 100.0
+        assert d.light_flops == 1.0
+
+    def test_fractions_must_sum_within_one(self):
+        with pytest.raises(ValueError):
+            CostDistribution(
+                name="bad", heavy_fraction=0.7, medium_fraction=0.5
+            )
+
+
+class TestAssignCosts:
+    def test_balanced_assigns_uniform(self):
+        g = assign_costs(pipeline(20), balanced(555.0))
+        for op in g:
+            if not op.is_source and not op.is_sink:
+                assert op.cost_flops == 555.0
+
+    def test_balanced_spares_source_and_sink(self):
+        base = pipeline(20)
+        g = assign_costs(base, balanced(555.0))
+        assert g.by_name("src").cost_flops == base.by_name("src").cost_flops
+        assert g.by_name("snk").cost_flops == base.by_name("snk").cost_flops
+
+    def test_skewed_class_sizes(self, rng):
+        g = assign_costs(pipeline(100), skewed(), rng=rng)
+        heavy, medium, light = cost_classes(g)
+        assert len(heavy) == 10
+        assert len(medium) == 30
+        assert len(light) == 60
+
+    def test_skewed_is_seeded(self):
+        a = assign_costs(
+            pipeline(50), skewed(), rng=np.random.default_rng(3)
+        )
+        b = assign_costs(
+            pipeline(50), skewed(), rng=np.random.default_rng(3)
+        )
+        assert [op.cost_flops for op in a] == [op.cost_flops for op in b]
+
+    def test_different_seeds_differ(self):
+        a = assign_costs(
+            pipeline(50), skewed(), rng=np.random.default_rng(1)
+        )
+        b = assign_costs(
+            pipeline(50), skewed(), rng=np.random.default_rng(2)
+        )
+        assert [op.cost_flops for op in a] != [op.cost_flops for op in b]
+
+    def test_skewed_values_are_class_costs(self, rng):
+        g = assign_costs(pipeline(40), skewed(), rng=rng)
+        allowed = {HEAVY_FLOPS, MEDIUM_FLOPS, LIGHT_FLOPS}
+        for op in g:
+            if not op.is_source and not op.is_sink:
+                assert op.cost_flops in allowed
+
+    def test_extreme_heavy_fraction(self, rng):
+        g = assign_costs(
+            pipeline(10),
+            skewed(heavy_fraction=1.0, medium_fraction=0.0),
+            rng=rng,
+        )
+        heavy, medium, light = cost_classes(g)
+        assert len(heavy) == 10 and not medium and not light
+
+    def test_default_rng_when_none(self):
+        g = assign_costs(pipeline(30), skewed())
+        heavy, _m, _l = cost_classes(g)
+        assert len(heavy) == 3
+
+
+class TestCostClasses:
+    def test_classification_thresholds(self, rng):
+        g = assign_costs(pipeline(10), balanced(MEDIUM_FLOPS), rng=rng)
+        heavy, medium, light = cost_classes(g)
+        assert not heavy
+        assert len(medium) == 10
+        assert not light

@@ -1,0 +1,78 @@
+"""Tests for DOT export and ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.graph import data_parallel, pipeline
+from repro.graph.dot import ascii_summary, to_dot
+from repro.runtime import QueuePlacement
+
+
+class TestToDot:
+    def test_valid_digraph_structure(self, chain10):
+        dot = to_dot(chain10)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # One node line per operator, one edge line per stream.
+        assert dot.count(" -> ") == len(chain10.edges)
+        for op in chain10:
+            assert f"n{op.index} [" in dot
+
+    def test_queued_operators_highlighted(self, chain10):
+        mid = chain10.by_name("op5").index
+        dot = to_dot(chain10, QueuePlacement.of([mid]))
+        assert "peripheries=2" in dot
+        assert dot.count("peripheries=2") == 1
+
+    def test_queue_edges_bold(self, chain10):
+        mid = chain10.by_name("op5").index
+        dot = to_dot(chain10, QueuePlacement.of([mid]))
+        assert "style=bold" in dot
+
+    def test_shapes_by_kind(self, chain10):
+        dot = to_dot(chain10)
+        assert "shape=invhouse" in dot  # source
+        assert "shape=house" in dot  # sink
+        assert "shape=box" in dot  # functional
+
+    def test_lock_operators_filled(self, dp8):
+        dot = to_dot(dp8)
+        assert "fillcolor" in dot  # the locking sink
+
+    def test_costs_optional(self, chain10):
+        with_costs = to_dot(chain10, include_costs=True)
+        without = to_dot(chain10, include_costs=False)
+        assert "1000F" in with_costs
+        assert "1000F" not in without
+
+    def test_label_escaping(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder("g")
+        src = b.add_source('weird"name')
+        snk = b.add_sink("snk")
+        b.connect(src, snk)
+        dot = to_dot(b.build())
+        assert '\\"' in dot
+
+
+class TestAsciiSummary:
+    def test_levels_rendered(self, chain10):
+        text = ascii_summary(chain10)
+        assert "L0" in text
+        assert "src" in text
+        assert "snk" in text
+
+    def test_queue_markers(self, chain10):
+        mid = chain10.by_name("op5").index
+        text = ascii_summary(chain10, QueuePlacement.of([mid]))
+        assert "op5[Q]" in text
+
+    def test_wide_levels_truncated(self):
+        g = data_parallel(50)
+        text = ascii_summary(g, max_names_per_level=3)
+        assert "+47 more" in text
+
+    def test_header_has_stats(self, chain10):
+        text = ascii_summary(chain10)
+        assert "12 operators" in text
+        assert "256B" in text

@@ -1,0 +1,76 @@
+"""Tests for graph JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import build_packet_analysis, build_vwap
+from repro.graph import data_parallel, pipeline
+from repro.graph.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+def _assert_equal_graphs(a, b):
+    assert a.name == b.name
+    assert a.tuple_spec == b.tuple_spec
+    assert a.operators == b.operators
+    assert a.edges == b.edges
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: pipeline(10, payload_bytes=777),
+            lambda: data_parallel(6, cost_flops=123.0),
+            build_vwap,
+            lambda: build_packet_analysis(1),
+        ],
+        ids=["pipeline", "data_parallel", "vwap", "packet_analysis"],
+    )
+    def test_dict_round_trip(self, factory):
+        g = factory()
+        _assert_equal_graphs(g, graph_from_dict(graph_to_dict(g)))
+
+    def test_file_round_trip(self, tmp_path, chain10):
+        path = tmp_path / "graph.json"
+        save_graph(chain10, path)
+        _assert_equal_graphs(chain10, load_graph(path))
+
+    def test_json_is_plain(self, tmp_path, chain10):
+        path = tmp_path / "graph.json"
+        save_graph(chain10, path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert len(data["operators"]) == len(chain10)
+
+    def test_rate_caps_preserved(self):
+        g = build_packet_analysis(1)
+        rebuilt = graph_from_dict(graph_to_dict(g))
+        assert rebuilt.sources[0].max_rate == g.sources[0].max_rate
+
+    def test_rates_preserved(self, diamond):
+        rebuilt = graph_from_dict(graph_to_dict(diamond))
+        assert rebuilt.arrival_rates() == diamond.arrival_rates()
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self, chain10):
+        data = graph_to_dict(chain10)
+        data["version"] = 7
+        with pytest.raises(ValueError, match="version"):
+            graph_from_dict(data)
+
+    def test_tampered_structure_rejected(self, chain10):
+        from repro.graph import GraphValidationError
+
+        data = graph_to_dict(chain10)
+        data["edges"].append([5, 2])  # creates a cycle
+        with pytest.raises(GraphValidationError):
+            graph_from_dict(data)

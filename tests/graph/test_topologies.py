@@ -1,0 +1,124 @@
+"""Tests for the benchmark topology generators (Fig. 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    FanoutPolicy,
+    bushy,
+    bushy_82,
+    data_parallel,
+    mixed,
+    pipeline,
+)
+from repro.graph.analysis import stats, width_profile
+
+
+class TestPipeline:
+    def test_counts(self):
+        g = pipeline(100)
+        s = stats(g)
+        assert s.n_functional == 100
+        assert s.n_operators == 102
+        assert s.n_sources == 1
+        assert s.n_sinks == 1
+
+    def test_is_a_chain(self):
+        g = pipeline(10)
+        assert all(g.fan_out(op.index) <= 1 for op in g)
+        assert all(g.fan_in(op.index) <= 1 for op in g)
+
+    def test_cost_applied(self):
+        g = pipeline(5, cost_flops=777.0)
+        assert g.by_name("op2").cost_flops == 777.0
+
+    def test_rejects_zero_operators(self):
+        with pytest.raises(ValueError):
+            pipeline(0)
+
+    def test_payload(self):
+        assert pipeline(3, payload_bytes=9).tuple_spec.payload_bytes == 9
+
+
+class TestDataParallel:
+    def test_counts(self):
+        g = data_parallel(50)
+        s = stats(g)
+        assert s.n_functional == 50
+        assert s.max_fan_out == 50
+        assert s.max_fan_in == 50
+
+    def test_source_splits(self):
+        g = data_parallel(10)
+        assert g.by_name("src").fanout is FanoutPolicy.SPLIT
+
+    def test_sink_locks(self):
+        g = data_parallel(10)
+        assert g.by_name("snk").uses_lock
+
+    def test_each_worker_rate_is_fraction(self):
+        g = data_parallel(4)
+        rates = g.arrival_rates()
+        w = g.by_name("worker0").index
+        assert rates[w] == pytest.approx(0.25)
+
+    def test_sink_rate_conserved(self):
+        g = data_parallel(7)
+        rates = g.arrival_rates()
+        assert rates[g.by_name("snk").index] == pytest.approx(1.0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            data_parallel(0)
+
+
+class TestMixed:
+    def test_counts(self):
+        g = mixed(10, 50)
+        assert stats(g).n_functional == 500
+
+    def test_paths_are_parallel(self):
+        g = mixed(4, 3)
+        profile = width_profile(g)
+        assert max(profile) == 4
+
+    def test_split_distribution(self):
+        g = mixed(4, 3)
+        rates = g.arrival_rates()
+        assert rates[g.by_name("p0_op0").index] == pytest.approx(0.25)
+        assert rates[g.by_name("snk").index] == pytest.approx(1.0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            mixed(0, 5)
+        with pytest.raises(ValueError):
+            mixed(5, 0)
+
+
+class TestBushy:
+    def test_split_merge_symmetry(self):
+        g = bushy(levels=3)
+        # split rows: 1+2+4 = 7; merge rows: 2+1 = 3
+        assert stats(g).n_functional == 10
+
+    def test_rate_conservation_through_tree(self):
+        g = bushy(levels=4)
+        rates = g.arrival_rates()
+        assert rates[g.by_name("snk").index] == pytest.approx(1.0)
+
+    def test_bushy82_operator_count(self):
+        g = bushy_82()
+        n_functional = sum(
+            1 for op in g if not op.is_source and not op.is_sink
+        )
+        assert n_functional == 82
+
+    def test_bushy82_cost_applied(self):
+        g = bushy_82(cost_flops=10_000.0)
+        assert g.by_name("split_l2_1").cost_flops == 10_000.0
+        assert g.by_name("tail5").cost_flops == 10_000.0
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            bushy(levels=0)

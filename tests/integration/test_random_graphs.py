@@ -1,0 +1,157 @@
+"""Property tests over randomly generated dataflow graphs.
+
+A hypothesis strategy builds arbitrary layered DAGs (random fan-in/out,
+selectivities, fanout policies, costs, locks) and checks that every
+layer of the stack upholds its invariants on them — not just on the
+hand-built benchmark topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import FanoutPolicy, GraphBuilder
+from repro.graph.analysis import queueable_indices
+from repro.perfmodel import PerformanceModel, laptop
+from repro.runtime import QueuePlacement, decompose
+
+
+@st.composite
+def random_graph(draw):
+    """A random layered DAG with 1 source and 1 sink."""
+    rng_seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    n_layers = draw(st.integers(1, 5))
+    layer_sizes = [
+        draw(st.integers(1, 5)) for _ in range(n_layers)
+    ]
+    b = GraphBuilder(f"rand-{rng_seed}", payload_bytes=int(rng.integers(1, 4096)))
+    src = b.add_source(
+        "src",
+        fanout=(
+            FanoutPolicy.SPLIT
+            if rng.random() < 0.5
+            else FanoutPolicy.BROADCAST
+        ),
+    )
+    prev_layer = [src]
+    op_id = 0
+    for size in layer_sizes:
+        layer = []
+        for _ in range(size):
+            op = b.add_operator(
+                f"op{op_id}",
+                cost_flops=float(rng.choice([1.0, 100.0, 10_000.0])),
+                selectivity=float(rng.choice([0.5, 1.0, 1.0, 3.0])),
+                uses_lock=bool(rng.random() < 0.15),
+                fanout=(
+                    FanoutPolicy.SPLIT
+                    if rng.random() < 0.5
+                    else FanoutPolicy.BROADCAST
+                ),
+            )
+            op_id += 1
+            # Every new operator gets at least one upstream edge.
+            n_parents = int(rng.integers(1, len(prev_layer) + 1))
+            parents = rng.choice(
+                len(prev_layer), size=n_parents, replace=False
+            )
+            for p in parents:
+                b.connect(prev_layer[int(p)], op)
+            layer.append(op)
+        prev_layer = layer
+    snk = b.add_sink("snk")
+    for op in prev_layer:
+        b.connect(op, snk)
+    graph = b.build()
+
+    eligible = list(queueable_indices(graph))
+    k = int(rng.integers(0, len(eligible) + 1))
+    chosen = rng.choice(eligible, size=k, replace=False) if k else []
+    placement = QueuePlacement.of(int(i) for i in chosen)
+    return graph, placement
+
+
+class TestRandomGraphInvariants:
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_topological_order_valid(self, graph_and_placement):
+        graph, _ = graph_and_placement
+        pos = {
+            idx: i for i, idx in enumerate(graph.topological_order())
+        }
+        for edge in graph.edges:
+            assert pos[edge.src] < pos[edge.dst]
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_region_rates_conserved(self, graph_and_placement):
+        graph, placement = graph_and_placement
+        decomp = decompose(graph, placement)
+        global_rates = graph.arrival_rates()
+        summed = {op.index: 0.0 for op in graph}
+        for region in decomp.regions:
+            for idx, rate in region.op_rates:
+                summed[idx] += rate
+        for idx, expected in global_rates.items():
+            assert summed[idx] == pytest.approx(expected, abs=1e-9)
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_each_edge_accounted_once(self, graph_and_placement):
+        """Push rates into each queue equal the queue's entry rate."""
+        graph, placement = graph_and_placement
+        decomp = decompose(graph, placement)
+        pushes: dict = {}
+        for region in decomp.regions:
+            for queue_op, rate in region.push_rates:
+                pushes[queue_op] = pushes.get(queue_op, 0.0) + rate
+        for region in decomp.dynamic_regions:
+            assert pushes.get(region.entry, 0.0) == pytest.approx(
+                region.entry_rate, abs=1e-9
+            )
+
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_model_produces_finite_positive_throughput(
+        self, graph_and_placement
+    ):
+        graph, placement = graph_and_placement
+        model = PerformanceModel(graph, laptop(4))
+        for threads in (0, 1, 4):
+            est = model.estimate(placement, threads)
+            assert est.throughput >= 0.0
+            if placement.n_queues == 0 or threads > 0:
+                assert est.throughput > 0.0
+            assert est.throughput != float("inf")
+
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_more_threads_never_reduce_class_capacity(
+        self, graph_and_placement
+    ):
+        """Scheduler-class bound is monotone while under the core count."""
+        graph, placement = graph_and_placement
+        machine = laptop(8)
+        model = PerformanceModel(graph, machine)
+        if placement.n_queues == 0:
+            return
+        bounds = [
+            model.estimate(placement, t).scheduler_class_bound
+            for t in (1, 2, 3)
+        ]
+        assert bounds[0] <= bounds[1] * 1.0001
+        assert bounds[1] <= bounds[2] * 1.0001
+
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_profiler_groups_partition(self, graph_and_placement):
+        from repro.core import SamplingProfiler, build_groups, validate_groups
+
+        graph, _ = graph_and_placement
+        profiler = SamplingProfiler(laptop(4), n_samples=200, seed=1)
+        groups = build_groups(graph, profiler.profile(graph))
+        validate_groups(graph, groups)

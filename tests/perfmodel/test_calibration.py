@@ -1,0 +1,54 @@
+"""Tests for model<->DES calibration utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel import (
+    MachineProfile,
+    fit_flops_rate,
+    laptop,
+    validation_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validation_report(laptop(4))
+
+
+class TestValidationReport:
+    def test_all_ratios_within_band(self, report):
+        # Model and DES agree within ~2x on small chains.
+        for row in report.rows:
+            assert 0.4 < row.ratio < 2.5, row
+
+    def test_ordering_preserved(self, report):
+        assert report.ordering_preserved()
+
+    def test_max_abs_log_ratio(self, report):
+        import math
+
+        assert report.max_abs_log_ratio == pytest.approx(
+            max(abs(math.log(r.ratio)) for r in report.rows)
+        )
+
+    def test_labels_describe_configs(self, report):
+        labels = [r.label for r in report.rows]
+        assert "q=0,t=0" in labels
+
+
+class TestFitFlopsRate:
+    def test_recovers_configured_rate(self):
+        machine = laptop(4)
+        fitted = fit_flops_rate(machine)
+        assert fitted == pytest.approx(
+            machine.flops_per_second, rel=0.05
+        )
+
+    def test_recovers_slower_machine(self):
+        machine = MachineProfile(
+            name="slow", logical_cores=4, flops_per_second=1.0e9
+        )
+        fitted = fit_flops_rate(machine)
+        assert fitted == pytest.approx(1.0e9, rel=0.05)

@@ -1,0 +1,74 @@
+"""Tests for contention models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel import (
+    operator_lock_cost,
+    pop_cost,
+    push_cost,
+    queue_sync_cost,
+)
+from repro.perfmodel.machine import laptop
+
+
+@pytest.fixture
+def m():
+    return laptop(8)
+
+
+class TestQueueSync:
+    def test_zero_queues_is_free(self, m):
+        assert queue_sync_cost(m, 8, 0) == 0.0
+
+    def test_uncontended_when_spread(self, m):
+        # 1 thread over 10 queues: no expected contention.
+        assert queue_sync_cost(m, 1, 10) == pytest.approx(
+            m.lock_uncontended_s
+        )
+
+    def test_contention_grows_with_threads(self, m):
+        a = queue_sync_cost(m, 2, 1)
+        b = queue_sync_cost(m, 8, 1)
+        assert b > a
+
+    def test_contention_shrinks_with_queues(self, m):
+        a = queue_sync_cost(m, 8, 1)
+        b = queue_sync_cost(m, 8, 8)
+        assert b < a
+
+
+class TestOperatorLock:
+    def test_single_thread_uncontended(self, m):
+        assert operator_lock_cost(m, 1) == pytest.approx(
+            m.lock_uncontended_s
+        )
+
+    def test_contenders_add_penalty(self, m):
+        assert operator_lock_cost(m, 5) == pytest.approx(
+            m.lock_uncontended_s + 4 * m.lock_contended_penalty_s
+        )
+
+    def test_monotone_in_threads(self, m):
+        costs = [operator_lock_cost(m, k) for k in range(1, 10)]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+
+class TestPopPush:
+    def test_pop_includes_scan(self, m):
+        few = pop_cost(m, 2, 2)
+        many = pop_cost(m, 2, 2000)
+        assert many > few
+
+    def test_push_includes_copy(self, m):
+        small = push_cost(m, 2, 2, payload_bytes=1)
+        big = push_cost(m, 2, 2, payload_bytes=16384)
+        assert big > small
+        assert big - small == pytest.approx(
+            m.copy_time(16384) - m.copy_time(1)
+        )
+
+    def test_push_copy_dominates_at_large_payload(self, m):
+        cost = push_cost(m, 2, 2, payload_bytes=65536)
+        assert m.copy_time(65536) / cost > 0.9

@@ -1,0 +1,103 @@
+"""Tests for the end-to-end latency estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import pipeline
+from repro.perfmodel import PerformanceModel, laptop
+from repro.perfmodel.latency import estimate_latency, latency_profile
+from repro.runtime import QueuePlacement
+
+
+@pytest.fixture
+def model():
+    graph = pipeline(10, cost_flops=10_000.0, payload_bytes=256)
+    return PerformanceModel(graph, laptop(8))
+
+
+def _even(graph, k):
+    eligible = [op.index for op in graph if not op.is_source]
+    step = len(eligible) / k
+    return QueuePlacement.of(eligible[int(i * step)] for i in range(k))
+
+
+class TestManualLatency:
+    def test_manual_latency_equals_service_time(self, model):
+        """No queues: latency is the single region's service time,
+        independent of load (no queueing in a pure function-call chain)."""
+        low = estimate_latency(model, QueuePlacement.empty(), 0, 0.2)
+        high = estimate_latency(model, QueuePlacement.empty(), 0, 0.9)
+        assert low.latency_s == pytest.approx(high.latency_s)
+        # ~10 ops x 10k FLOPs at 4 GF/s = ~25 us plus overheads.
+        assert 20e-6 < low.latency_s < 40e-6
+
+    def test_rejects_negative_load(self, model):
+        with pytest.raises(ValueError):
+            estimate_latency(model, QueuePlacement.empty(), 0, -0.1)
+
+
+class TestQueueingLatency:
+    def test_waits_grow_with_load(self, model):
+        placement = _even(model.graph, 3)
+        profile = latency_profile(
+            model, placement, 3, load_fractions=(0.2, 0.5, 0.9)
+        )
+        latencies = [profile[f].latency_s for f in (0.2, 0.5, 0.9)]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_saturation_reported(self, model):
+        placement = _even(model.graph, 3)
+        est = estimate_latency(model, placement, 3, load_fraction=1.5)
+        assert est.saturated
+        assert est.latency_s == float("inf")
+
+    def test_queues_add_latency_at_light_load(self, model):
+        """Extra hops and copies cost latency when queues are idle."""
+        manual = estimate_latency(
+            model, QueuePlacement.empty(), 0, 0.1
+        )
+        queued = estimate_latency(
+            model, _even(model.graph, 5), 5, 0.1
+        )
+        assert queued.latency_s > manual.latency_s
+
+    def test_utilization_tracks_load(self, model):
+        placement = _even(model.graph, 3)
+        low = estimate_latency(model, placement, 3, 0.2)
+        high = estimate_latency(model, placement, 3, 0.9)
+        assert high.max_utilization > low.max_utilization
+        assert high.max_utilization <= 1.0 + 1e-9
+
+    def test_source_regions_never_wait(self, model):
+        placement = _even(model.graph, 3)
+        est = estimate_latency(model, placement, 3, 0.8)
+        waits = dict(est.per_region_wait_s)
+        src_entry = model.graph.by_name("src").index
+        assert waits[src_entry] == 0.0
+
+
+class TestAbsoluteLoadComparison:
+    def test_parallelism_lowers_latency_at_high_absolute_load(self):
+        """At an absolute load beyond the manual configuration's
+        capacity, only the parallel configuration has finite latency —
+        the latency side of the paper's throughput story."""
+        graph = pipeline(10, cost_flops=10_000.0, payload_bytes=256)
+        model = PerformanceModel(graph, laptop(8))
+        manual_capacity = model.estimate(
+            QueuePlacement.empty(), 0
+        ).throughput
+        placement = _even(graph, 5)
+        parallel_capacity = model.estimate(placement, 5).throughput
+        assert parallel_capacity > 1.5 * manual_capacity
+        # Offered load: 1.2x the manual capacity.
+        load = 1.2 * manual_capacity
+        manual_est = estimate_latency(
+            model, QueuePlacement.empty(), 0, load / manual_capacity
+        )
+        parallel_est = estimate_latency(
+            model, placement, 5, load / parallel_capacity
+        )
+        assert manual_est.saturated
+        assert not parallel_est.saturated
+        assert parallel_est.latency_s < float("inf")

@@ -1,0 +1,102 @@
+"""Tests for machine profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel import MachineProfile, laptop, power8_184, xeon_176
+
+
+class TestProfiles:
+    def test_xeon_core_counts(self):
+        m = xeon_176()
+        assert m.logical_cores == 176
+        assert m.physical_cores == 88
+
+    def test_power8_core_counts(self):
+        m = power8_184()
+        assert m.logical_cores == 184
+        assert m.physical_cores == 23
+
+    def test_physical_defaults_to_logical(self):
+        m = MachineProfile(name="x", logical_cores=4)
+        assert m.physical_cores == 4
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MachineProfile(name="x", logical_cores=0)
+
+    def test_rejects_physical_above_logical(self):
+        with pytest.raises(ValueError):
+            MachineProfile(name="x", logical_cores=4, physical_cores=8)
+
+
+class TestDerivedCosts:
+    def test_flop_time_linear(self, small_machine):
+        assert small_machine.flop_time(200) == pytest.approx(
+            2 * small_machine.flop_time(100)
+        )
+
+    def test_copy_time_grows_with_payload(self, small_machine):
+        assert small_machine.copy_time(16384) > small_machine.copy_time(1)
+
+    def test_copy_time_has_base_cost(self, small_machine):
+        assert small_machine.copy_time(0) == pytest.approx(
+            small_machine.tuple_copy_base_s
+        )
+
+    def test_scan_time_grows_with_queues(self, small_machine):
+        assert small_machine.scan_time(1000) > small_machine.scan_time(1)
+
+    def test_scan_time_base(self, small_machine):
+        assert small_machine.scan_time(0) == pytest.approx(
+            small_machine.queue_scan_base_s
+        )
+
+
+class TestEffectiveCapacity:
+    def test_zero_threads(self, small_machine):
+        assert small_machine.effective_capacity(0) == 0.0
+
+    def test_linear_up_to_physical(self):
+        m = MachineProfile(name="x", logical_cores=16, physical_cores=8)
+        assert m.effective_capacity(4) == pytest.approx(4.0)
+        assert m.effective_capacity(8) == pytest.approx(8.0)
+
+    def test_smt_region_is_sublinear(self):
+        m = MachineProfile(
+            name="x",
+            logical_cores=16,
+            physical_cores=8,
+            smt_efficiency=0.5,
+        )
+        assert m.effective_capacity(12) == pytest.approx(8 + 4 * 0.5)
+
+    def test_oversubscription_degrades(self):
+        m = MachineProfile(name="x", logical_cores=8)
+        at_cap = m.effective_capacity(8)
+        over = m.effective_capacity(32)
+        assert over < at_cap
+
+    def test_capacity_monotone_up_to_logical(self):
+        m = xeon_176()
+        caps = [m.effective_capacity(n) for n in range(1, 177)]
+        assert all(b >= a for a, b in zip(caps, caps[1:]))
+
+
+class TestWithCores:
+    def test_restrict_scales_physical(self):
+        m = xeon_176().with_cores(88)
+        assert m.logical_cores == 88
+        assert m.physical_cores == 44
+
+    def test_restrict_to_one(self):
+        m = xeon_176().with_cores(1)
+        assert m.logical_cores == 1
+        assert m.physical_cores == 1
+
+    def test_name_tagged(self):
+        assert "@16c" in xeon_176().with_cores(16).name
+
+    def test_laptop_profile(self):
+        assert laptop(4).logical_cores == 4

@@ -1,0 +1,61 @@
+"""Tests for the measurement-noise model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import NoiseModel, make_noise
+
+
+class TestNoiseModel:
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            NoiseModel(std=-0.1)
+
+    def test_zero_std_is_identity(self):
+        n = NoiseModel(std=0.0)
+        assert n.observe(123.0) == 123.0
+
+    def test_zero_value_stays_zero(self):
+        n = NoiseModel(std=0.1)
+        assert n.observe(0.0) == 0.0
+
+    def test_never_negative(self):
+        n = NoiseModel(std=0.5, seed=1)
+        assert all(n.observe(10.0) > 0 for _ in range(1000))
+
+    def test_mean_preserved(self):
+        n = NoiseModel(std=0.05, seed=2)
+        samples = [n.observe(100.0) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.01)
+
+    def test_std_matches_configuration(self):
+        n = NoiseModel(std=0.10, seed=3)
+        samples = [n.observe(100.0) for _ in range(20000)]
+        assert np.std(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_seeded_reproducibility(self):
+        a = NoiseModel(std=0.1, seed=5)
+        b = NoiseModel(std=0.1, seed=5)
+        assert [a.observe(1.0) for _ in range(10)] == [
+            b.observe(1.0) for _ in range(10)
+        ]
+
+    def test_reseed_resets_stream(self):
+        n = NoiseModel(std=0.1, seed=5)
+        first = [n.observe(1.0) for _ in range(5)]
+        n.reseed(5)
+        again = [n.observe(1.0) for _ in range(5)]
+        assert first == again
+
+
+class TestMakeNoise:
+    def test_disabled_returns_none(self):
+        assert make_noise(0.1, seed=0, enabled=False) is None
+
+    def test_zero_std_returns_none(self):
+        assert make_noise(0.0, seed=0) is None
+
+    def test_enabled_returns_model(self):
+        assert isinstance(make_noise(0.1, seed=0), NoiseModel)

@@ -1,0 +1,94 @@
+"""Tests for the external source-rate (line rate) bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import measure_throughput
+from repro.graph import GraphBuilder
+from repro.perfmodel import PerformanceModel, laptop
+from repro.runtime import QueuePlacement
+
+
+def _capped_chain(max_rate, n_ops=3, cost=500.0):
+    b = GraphBuilder("capped", payload_bytes=64)
+    src = b.add_source("src", cost_flops=50.0, max_rate=max_rate)
+    prev = src
+    for i in range(n_ops):
+        op = b.add_operator(f"op{i}", cost_flops=cost)
+        b.connect(prev, op)
+        prev = op
+    snk = b.add_sink("snk", cost_flops=10.0, uses_lock=False)
+    b.connect(prev, snk)
+    return b.build()
+
+
+class TestModelBound:
+    def test_cap_binds_when_low(self):
+        g = _capped_chain(max_rate=1000.0)
+        pm = PerformanceModel(g, laptop(4))
+        est = pm.estimate(QueuePlacement.empty(), 0)
+        assert est.throughput == pytest.approx(1000.0)
+        assert est.limiting_factor == "source_rate"
+
+    def test_cap_ignored_when_high(self):
+        g = _capped_chain(max_rate=1e12)
+        pm = PerformanceModel(g, laptop(4))
+        est = pm.estimate(QueuePlacement.empty(), 0)
+        assert est.limiting_factor != "source_rate"
+
+    def test_uncapped_is_infinite_bound(self):
+        g = _capped_chain(max_rate=None)
+        pm = PerformanceModel(g, laptop(4))
+        est = pm.estimate(QueuePlacement.empty(), 0)
+        assert est.source_rate_bound == float("inf")
+
+    def test_parallelism_cannot_exceed_cap(self):
+        g = _capped_chain(max_rate=5000.0, n_ops=6, cost=5000.0)
+        pm = PerformanceModel(g, laptop(8))
+        eligible = [op.index for op in g if not op.is_source]
+        full = QueuePlacement.of(eligible)
+        assert pm.estimate(full, 7).throughput <= 5000.0
+
+    def test_rejects_nonpositive_cap(self):
+        from repro.graph import Operator
+
+        with pytest.raises(ValueError, match="max_rate"):
+            Operator(index=0, name="x", max_rate=0.0)
+
+
+class TestDesPacing:
+    def test_source_paced_to_line_rate(self):
+        g = _capped_chain(max_rate=50_000.0, n_ops=2, cost=100.0)
+        result = measure_throughput(
+            g, laptop(4), QueuePlacement.empty(), 0,
+            warmup_s=0.01, measure_s=0.1,
+        )
+        assert result.source_tuples_per_s == pytest.approx(
+            50_000.0, rel=0.05
+        )
+
+    def test_unpaced_source_runs_at_compute_speed(self):
+        g = _capped_chain(max_rate=None, n_ops=2, cost=100.0)
+        result = measure_throughput(
+            g, laptop(4), QueuePlacement.empty(), 0,
+            warmup_s=0.005, measure_s=0.02,
+        )
+        assert result.source_tuples_per_s > 1_000_000
+
+
+class TestPacketAnalysisLineRate:
+    def test_line_rate_default(self):
+        from repro.apps.packet_analysis import (
+            LINE_RATE_TUPLES_PER_S,
+            build_packet_analysis,
+        )
+
+        g = build_packet_analysis(1)
+        assert g.sources[0].max_rate == LINE_RATE_TUPLES_PER_S
+
+    def test_line_rate_disable(self):
+        from repro.apps.packet_analysis import build_packet_analysis
+
+        g = build_packet_analysis(1, line_rate_tuples_per_s=None)
+        assert g.sources[0].max_rate is None

@@ -1,0 +1,202 @@
+"""Tests for the steady-state throughput estimator.
+
+These tests pin down the qualitative behaviours every figure in the
+paper depends on: pipeline parallelism gains, payload-dependent queue
+costs, sink lock contention, memory-bandwidth saturation and
+oversubscription.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import data_parallel, pipeline
+from repro.perfmodel import PerformanceModel, laptop, xeon_176
+from repro.runtime import QueuePlacement
+
+
+def _even_placement(graph, k):
+    eligible = [op.index for op in graph if not op.is_source]
+    if k == 0:
+        return QueuePlacement.empty()
+    step = len(eligible) / k
+    return QueuePlacement.of(eligible[int(i * step)] for i in range(k))
+
+
+class TestBasicBounds:
+    def test_manual_is_serial_bound(self, chain10, small_machine):
+        pm = PerformanceModel(chain10, small_machine)
+        est = pm.estimate(QueuePlacement.empty(), 0)
+        assert est.limiting_factor == "serial"
+        assert est.scheduler_threads_used == 0
+        assert est.active_threads == 1
+
+    def test_rejects_negative_threads(self, chain10, small_machine):
+        pm = PerformanceModel(chain10, small_machine)
+        with pytest.raises(ValueError):
+            pm.estimate(QueuePlacement.empty(), -1)
+
+    def test_throughput_positive(self, chain10, small_machine):
+        pm = PerformanceModel(chain10, small_machine)
+        assert pm.estimate(QueuePlacement.empty(), 0).throughput > 0
+
+    def test_extra_threads_capped_by_regions(
+        self, chain10, small_machine
+    ):
+        pm = PerformanceModel(chain10, small_machine)
+        placement = _even_placement(chain10, 2)
+        est = pm.estimate(placement, 50)
+        assert est.scheduler_threads_used == 2
+
+    def test_estimates_are_cached(self, chain10, small_machine):
+        pm = PerformanceModel(chain10, small_machine)
+        a = pm.estimate(QueuePlacement.empty(), 0)
+        b = pm.estimate(QueuePlacement.empty(), 0)
+        assert a is b
+
+
+class TestPipelineParallelism:
+    def test_queues_with_threads_beat_manual(
+        self, chain10, small_machine
+    ):
+        pm = PerformanceModel(chain10, small_machine)
+        manual = pm.estimate(QueuePlacement.empty(), 0).throughput
+        parallel = pm.estimate(_even_placement(chain10, 4), 4).throughput
+        assert parallel > 1.5 * manual
+
+    def test_threads_without_queues_do_nothing(
+        self, chain10, small_machine
+    ):
+        pm = PerformanceModel(chain10, small_machine)
+        a = pm.estimate(QueuePlacement.empty(), 0).throughput
+        b = pm.estimate(QueuePlacement.empty(), 8).throughput
+        assert a == pytest.approx(b)
+
+    def test_interior_optimum_exists(self):
+        """Fig. 1: neither 0% nor 100% dynamic is optimal."""
+        graph = pipeline(100, cost_flops=100.0, payload_bytes=1024)
+        machine = xeon_176().with_cores(16)
+        pm = PerformanceModel(graph, machine)
+        t_manual = pm.estimate(_even_placement(graph, 0), 0).throughput
+        t_mid = max(
+            pm.estimate(_even_placement(graph, k), 15).throughput
+            for k in (5, 10, 15, 20)
+        )
+        t_full = pm.estimate(QueuePlacement.full(graph), 15).throughput
+        assert t_mid > t_manual
+        assert t_mid > t_full
+
+    def test_optimum_shifts_down_with_payload(self):
+        """Fig. 9: larger payloads favour fewer scheduler queues."""
+
+        def best_k(payload):
+            graph = pipeline(100, payload_bytes=payload)
+            machine = xeon_176().with_cores(88)
+            pm = PerformanceModel(graph, machine)
+            ks = [1, 2, 5, 10, 20, 40, 80, 101]
+            return max(
+                ks,
+                key=lambda k: pm.estimate(
+                    _even_placement(graph, k), 87
+                ).throughput,
+            )
+
+        assert best_k(16384) < best_k(128)
+
+
+class TestMemoryBandwidth:
+    def test_full_dynamic_large_payload_is_memory_bound(self):
+        graph = pipeline(100, payload_bytes=16384)
+        machine = xeon_176()
+        pm = PerformanceModel(graph, machine)
+        est = pm.estimate(QueuePlacement.full(graph), 100)
+        assert est.limiting_factor == "memory"
+
+    def test_full_dynamic_large_payload_loses_to_manual(self):
+        """Fig. 9(a): at 16 KiB, thread count elasticity alone hurts."""
+        graph = pipeline(100, payload_bytes=16384)
+        machine = xeon_176()
+        pm = PerformanceModel(graph, machine)
+        manual = pm.estimate(QueuePlacement.empty(), 0).throughput
+        best_full = max(
+            pm.estimate(QueuePlacement.full(graph), t).throughput
+            for t in (8, 16, 32, 64, 128, 176)
+        )
+        assert best_full < manual
+
+    def test_small_payload_not_memory_bound(self):
+        graph = pipeline(100, payload_bytes=1)
+        machine = xeon_176()
+        pm = PerformanceModel(graph, machine)
+        est = pm.estimate(QueuePlacement.full(graph), 100)
+        assert est.limiting_factor != "memory"
+
+
+class TestSinkContention:
+    def test_lock_contention_inflates_with_regions(self, dp8):
+        machine = laptop(8)
+        pm = PerformanceModel(dp8, machine)
+        workers = [
+            op.index for op in dp8 if op.name.startswith("worker")
+        ]
+        # Queue all workers, sink stays manual: 8 regions reach the
+        # locked sink.
+        many = pm.estimate(QueuePlacement.of(workers), 7)
+        # Queue sink too: single consumer, no contention.
+        with_sink = pm.estimate(
+            QueuePlacement.of(workers + [dp8.by_name("snk").index]), 7
+        )
+        w_many = dict(many.region_work)
+        w_sink = dict(with_sink.region_work)
+        # The per-worker region work must be strictly higher when the
+        # contended sink executes inline.
+        assert w_many[workers[0]] > w_sink[workers[0]]
+
+    def test_dynamic_loses_to_manual_on_light_dp(self):
+        """Fig. 10: thread count elasticity can be worse than manual."""
+        graph = data_parallel(50, cost_flops=100.0, payload_bytes=1024)
+        machine = xeon_176()
+        pm = PerformanceModel(graph, machine)
+        manual = pm.estimate(QueuePlacement.empty(), 0).throughput
+        best_full = max(
+            pm.estimate(QueuePlacement.full(graph), t).throughput
+            for t in (4, 8, 16, 32, 64)
+        )
+        assert best_full < manual
+
+
+class TestOversubscription:
+    def test_more_threads_than_cores_hurts(self):
+        graph = pipeline(64, cost_flops=10_000.0, payload_bytes=64)
+        machine = laptop(4)
+        pm = PerformanceModel(graph, machine)
+        placement = _even_placement(graph, 32)
+        at_cores = pm.estimate(placement, 3).throughput
+        oversub = pm.estimate(placement, 32).throughput
+        assert oversub < at_cores
+
+
+class TestSinkThroughput:
+    def test_sink_rate_uses_selectivity(self, small_machine):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder("sel")
+        src = b.add_source("src")
+        tok = b.add_operator("tok", selectivity=4.0)
+        snk = b.add_sink("snk")
+        b.chain(src, tok, snk)
+        g = b.build()
+        pm = PerformanceModel(g, small_machine)
+        source_rate = pm.estimate(QueuePlacement.empty(), 0).throughput
+        sink_rate = pm.sink_throughput(QueuePlacement.empty(), 0)
+        assert sink_rate == pytest.approx(4.0 * source_rate)
+
+    def test_invalidate_swaps_graph(self, chain10, small_machine):
+        pm = PerformanceModel(chain10, small_machine)
+        before = pm.sink_throughput(QueuePlacement.empty(), 0)
+        heavier = chain10.replace_costs(
+            {op.index: 1e6 for op in chain10 if not op.is_source}
+        )
+        pm.invalidate(heavier)
+        after = pm.sink_throughput(QueuePlacement.empty(), 0)
+        assert after < before

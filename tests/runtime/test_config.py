@@ -1,0 +1,76 @@
+"""Tests for runtime/elasticity configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import ElasticityConfig, RuntimeConfig
+
+
+class TestElasticityConfig:
+    def test_paper_defaults(self):
+        c = ElasticityConfig()
+        assert c.adaptation_period_s == 5.0
+        assert c.sens == 0.05
+        assert c.use_history and c.use_satisfaction_factor
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            ElasticityConfig(adaptation_period_s=0)
+
+    def test_rejects_bad_sens(self):
+        with pytest.raises(ValueError):
+            ElasticityConfig(sens=1.0)
+        with pytest.raises(ValueError):
+            ElasticityConfig(sens=-0.1)
+
+    def test_rejects_bad_satisfaction(self):
+        with pytest.raises(ValueError):
+            ElasticityConfig(satisfaction_threshold=1.5)
+
+    def test_rejects_bad_thread_bounds(self):
+        with pytest.raises(ValueError):
+            ElasticityConfig(min_threads=0)
+        with pytest.raises(ValueError):
+            ElasticityConfig(min_threads=4, max_threads=2)
+        with pytest.raises(ValueError):
+            ElasticityConfig(min_threads=4, initial_threads=2)
+
+    def test_without_optimizations(self):
+        c = ElasticityConfig().without_optimizations()
+        assert not c.use_history
+        assert not c.use_satisfaction_factor
+
+    def test_with_history_only(self):
+        c = ElasticityConfig().with_history_only()
+        assert c.use_history
+        assert not c.use_satisfaction_factor
+
+    def test_with_satisfaction(self):
+        c = ElasticityConfig().with_satisfaction(0.0)
+        assert c.use_history and c.use_satisfaction_factor
+        assert c.satisfaction_threshold == 0.0
+
+
+class TestRuntimeConfig:
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(cores=0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(noise_std=-0.1)
+
+    def test_effective_max_threads_defaults_to_cores(self):
+        assert RuntimeConfig(cores=24).effective_max_threads == 24
+
+    def test_effective_max_threads_explicit(self):
+        c = RuntimeConfig(
+            cores=24, elasticity=ElasticityConfig(max_threads=8)
+        )
+        assert c.effective_max_threads == 8
+
+    def test_frozen(self):
+        c = RuntimeConfig()
+        with pytest.raises(AttributeError):
+            c.cores = 4  # type: ignore[misc]

@@ -1,0 +1,79 @@
+"""Tests for adaptation trace events and aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    AdaptationTrace,
+    Observation,
+    PlacementChange,
+    ThreadCountChange,
+)
+
+
+def _obs(t, throughput, threads=1, queues=0, mode="stable"):
+    return Observation(
+        time_s=t,
+        throughput=throughput,
+        true_throughput=throughput,
+        threads=threads,
+        n_queues=queues,
+        mode=mode,
+    )
+
+
+@pytest.fixture
+def trace():
+    t = AdaptationTrace.empty()
+    for i in range(1, 21):
+        t.observations.append(
+            _obs(5.0 * i, 100.0 * i if i <= 5 else 500.0, threads=i)
+        )
+    t.thread_changes.append(ThreadCountChange(10.0, 1, 2))
+    t.thread_changes.append(ThreadCountChange(25.0, 2, 4))
+    t.placement_changes.append(PlacementChange(15.0, 0, 3))
+    return t
+
+
+class TestAggregates:
+    def test_empty_trace(self):
+        t = AdaptationTrace.empty()
+        assert t.duration_s == 0.0
+        assert t.final_throughput() == 0.0
+        assert t.final_threads() == 0
+        assert t.last_change_time() == 0.0
+
+    def test_duration(self, trace):
+        assert trace.duration_s == 100.0
+
+    def test_final_throughput_window(self, trace):
+        assert trace.final_throughput(window=5) == pytest.approx(500.0)
+
+    def test_final_threads_and_queues(self, trace):
+        assert trace.final_threads() == 20
+        assert trace.final_n_queues() == 0
+
+    def test_last_change_time(self, trace):
+        assert trace.last_change_time() == 25.0
+
+    def test_max_threads_used(self, trace):
+        assert trace.max_threads_used() == 20
+
+
+class TestSettlingTime:
+    def test_settling_time_finds_band_entry(self, trace):
+        # Final converged 500; the last out-of-band observation (400)
+        # is at t=20.
+        assert trace.settling_time(tolerance=0.05) == 20.0
+
+    def test_settled_from_start(self):
+        t = AdaptationTrace.empty()
+        for i in range(1, 5):
+            t.observations.append(_obs(5.0 * i, 100.0))
+        assert t.settling_time() == 0.0
+
+    def test_series_accessors(self, trace):
+        assert len(trace.throughput_series()) == 20
+        assert trace.queue_series()[0] == (5.0, 0)
+        assert trace.thread_series()[-1] == (100.0, 20)

@@ -1,0 +1,71 @@
+"""Tests for the PE introspection report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import pipeline
+from repro.runtime import (
+    ProcessingElement,
+    QueuePlacement,
+    RuntimeConfig,
+    inspect_pe,
+)
+
+
+@pytest.fixture
+def pe(chain10, small_machine, fast_config):
+    return ProcessingElement(chain10, small_machine, fast_config)
+
+
+class TestInspect:
+    def test_manual_single_region(self, pe):
+        report = inspect_pe(pe)
+        assert len(report.regions) == 1
+        assert report.regions[0].kind == "source"
+        assert report.n_queues == 0
+        assert report.dynamic_ratio == 0.0
+
+    def test_regions_sorted_by_work(self, pe, chain10):
+        mid = chain10.by_name("op5").index
+        tail = chain10.by_name("op8").index
+        pe.set_placement(QueuePlacement.of([mid, tail]))
+        pe.set_scheduler_threads(2)
+        report = inspect_pe(pe)
+        works = [r.work_us_per_tuple for r in report.regions]
+        assert works == sorted(works, reverse=True)
+        assert report.regions[0].share_of_bottleneck == pytest.approx(1.0)
+
+    def test_kinds_classified(self, pe, chain10):
+        mid = chain10.by_name("op5").index
+        pe.set_placement(QueuePlacement.of([mid]))
+        report = inspect_pe(pe)
+        kinds = {r.entry_name: r.kind for r in report.regions}
+        assert kinds["src"] == "source"
+        assert kinds["op5"] == "dynamic"
+
+    def test_throughput_matches_pe(self, pe):
+        report = inspect_pe(pe)
+        assert report.throughput == pytest.approx(pe.true_throughput())
+
+    def test_utilization_bounded(self, pe, chain10):
+        pe.set_placement(QueuePlacement.full(chain10))
+        pe.set_scheduler_threads(8)
+        report = inspect_pe(pe)
+        assert 0.0 <= report.utilization <= 1.0
+
+    def test_render_contains_key_facts(self, pe):
+        text = inspect_pe(pe).render()
+        assert "PE report" in text
+        assert "throughput" in text
+        assert "src" in text
+
+    def test_render_truncates_many_regions(
+        self, small_machine, fast_config
+    ):
+        g = pipeline(30, cost_flops=1000.0)
+        pe = ProcessingElement(g, small_machine, fast_config)
+        pe.set_placement(QueuePlacement.full(g))
+        pe.set_scheduler_threads(4)
+        text = inspect_pe(pe).render(max_regions=5)
+        assert "more regions" in text

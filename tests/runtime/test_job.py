@@ -1,0 +1,84 @@
+"""Tests for multi-PE jobs with independent per-PE elasticity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import pipeline
+from repro.perfmodel import laptop
+from repro.runtime import RuntimeConfig
+from repro.runtime.job import Job, _cap_sources
+
+
+class TestCapSources:
+    def test_caps_applied_to_sources_only(self, chain10):
+        capped = _cap_sources(chain10, 1234.0)
+        assert capped.sources[0].max_rate == 1234.0
+        assert capped.by_name("op3").max_rate is None
+
+    def test_none_removes_cap(self, chain10):
+        capped = _cap_sources(chain10, 99.0)
+        uncapped = _cap_sources(capped, None)
+        assert uncapped.sources[0].max_rate is None
+
+    def test_topology_preserved(self, chain10):
+        capped = _cap_sources(chain10, 5.0)
+        assert capped.edges == chain10.edges
+        assert len(capped) == len(chain10)
+
+
+class TestJob:
+    def _job(self, costs=(2000.0, 2000.0), cores=(8, 8)):
+        stages = [
+            (
+                pipeline(
+                    10,
+                    cost_flops=c,
+                    payload_bytes=256,
+                    name=f"pe{i}",
+                ),
+                laptop(n),
+            )
+            for i, (c, n) in enumerate(zip(costs, cores))
+        ]
+        return Job(stages, config=RuntimeConfig(cores=8, seed=1))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Job([])
+
+    def test_single_stage_job(self):
+        job = self._job(costs=(2000.0,), cores=(8,))
+        result = job.run(duration_s_per_stage=4000.0)
+        assert len(result.stages) == 1
+        assert result.job_throughput > 0
+
+    def test_downstream_capped_by_upstream(self):
+        """A slow upstream PE bounds the whole job."""
+        # pe0 heavy on a small host, pe1 light on a bigger host.
+        job = self._job(costs=(50_000.0, 500.0), cores=(2, 8))
+        result = job.run(duration_s_per_stage=4000.0)
+        pe0, pe1 = result.stages
+        assert result.bottleneck_stage == "pe0"
+        # pe1 cannot emit more than pe0 delivers.
+        assert pe1.throughput <= pe0.throughput * 1.05
+
+    def test_balanced_stages_reach_similar_rates(self):
+        job = self._job(costs=(2000.0, 2000.0))
+        result = job.run(duration_s_per_stage=4000.0)
+        pe0, pe1 = result.stages
+        assert pe1.throughput == pytest.approx(
+            pe0.throughput, rel=0.25
+        )
+
+    def test_fixed_point_reached_before_max_rounds(self):
+        job = self._job()
+        result = job.run(duration_s_per_stage=4000.0, max_rounds=5)
+        assert result.rounds < 5
+
+    def test_each_stage_reports_configuration(self):
+        job = self._job()
+        result = job.run(duration_s_per_stage=4000.0)
+        for stage in result.stages:
+            assert stage.threads >= 1
+            assert stage.n_queues >= 0

@@ -1,0 +1,98 @@
+"""Tests for the simulated processing element."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import pipeline
+from repro.perfmodel import laptop
+from repro.runtime import ProcessingElement, QueuePlacement, RuntimeConfig
+
+
+@pytest.fixture
+def pe(chain10, small_machine, fast_config):
+    return ProcessingElement(chain10, small_machine, fast_config)
+
+
+class TestConfiguration:
+    def test_initial_state_is_manual(self, pe):
+        assert pe.n_queues == 0
+        assert pe.scheduler_threads == 1  # initial_threads default
+
+    def test_set_placement_validates(self, pe, chain10):
+        src = chain10.by_name("src").index
+        with pytest.raises(Exception):
+            pe.set_placement(QueuePlacement.of([src]))
+
+    def test_set_placement_applies(self, pe, chain10):
+        mid = chain10.by_name("op5").index
+        pe.set_placement(QueuePlacement.of([mid]))
+        assert pe.n_queues == 1
+
+    def test_set_threads_rejects_negative(self, pe):
+        with pytest.raises(ValueError):
+            pe.set_scheduler_threads(-1)
+
+    def test_set_graph_swaps_workload(self, pe, chain10):
+        heavier = chain10.replace_costs(
+            {chain10.by_name("op0").index: 1e6}
+        )
+        before = pe.true_throughput()
+        pe.set_graph(heavier)
+        after = pe.true_throughput()
+        assert after < before
+
+    def test_repr(self, pe):
+        assert "ProcessingElement" in repr(pe)
+
+
+class TestObservables:
+    def test_true_throughput_positive(self, pe):
+        assert pe.true_throughput() > 0
+
+    def test_observation_is_noisy_but_close(self, pe):
+        true = pe.true_throughput()
+        samples = [pe.observe_throughput() for _ in range(50)]
+        assert any(s != true for s in samples)
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(true, rel=0.05)
+
+    def test_noise_disabled_when_std_zero(
+        self, chain10, small_machine
+    ):
+        pe = ProcessingElement(
+            chain10, small_machine, RuntimeConfig(cores=8, noise_std=0.0)
+        )
+        assert pe.observe_throughput() == pe.true_throughput()
+
+    def test_queues_change_throughput(self, pe, chain10):
+        manual = pe.true_throughput()
+        mid = chain10.by_name("op5").index
+        pe.set_placement(QueuePlacement.of([mid]))
+        pe.set_scheduler_threads(1)
+        assert pe.true_throughput() != manual
+
+    def test_dynamic_ratio(self, pe, chain10):
+        assert pe.dynamic_ratio() == 0.0
+        pe.set_placement(QueuePlacement.full(chain10))
+        assert pe.dynamic_ratio() == 1.0
+
+
+class TestProfiling:
+    def test_profile_counts_sum_to_samples(self, pe, fast_config):
+        profile = pe.profile()
+        total = sum(c for _i, c in profile.counts)
+        assert total == fast_config.elasticity.profiling_samples
+
+    def test_profiling_groups_partition(self, pe, chain10):
+        groups = pe.profiling_groups()
+        members = [idx for g in groups for idx in g.members]
+        assert sorted(members) == sorted(
+            op.index for op in chain10 if not op.is_source
+        )
+
+    def test_balanced_chain_forms_one_main_group(self, pe):
+        groups = pe.profiling_groups()
+        # All 10 functional ops have identical cost; the sink is much
+        # lighter.  The heaviest group must hold the bulk.
+        assert len(groups[0]) >= 9

@@ -1,0 +1,88 @@
+"""Tests for queue placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import pipeline
+from repro.runtime import PlacementError, QueuePlacement
+
+
+class TestConstruction:
+    def test_empty(self):
+        p = QueuePlacement.empty()
+        assert len(p) == 0
+        assert p.n_queues == 0
+
+    def test_full_excludes_sources(self, chain10):
+        p = QueuePlacement.full(chain10)
+        assert chain10.by_name("src").index not in p
+        assert chain10.by_name("snk").index in p
+        assert p.n_queues == 11  # 10 ops + sink
+
+    def test_of_deduplicates(self):
+        p = QueuePlacement.of([3, 3, 4])
+        assert len(p) == 2
+
+
+class TestValidation:
+    def test_source_queue_rejected(self, chain10):
+        src = chain10.by_name("src").index
+        with pytest.raises(PlacementError, match="source"):
+            QueuePlacement.of([src]).validate(chain10)
+
+    def test_unknown_operator_rejected(self, chain10):
+        with pytest.raises(PlacementError, match="unknown"):
+            QueuePlacement.of([999]).validate(chain10)
+
+    def test_valid_placement_passes(self, chain10):
+        QueuePlacement.of([2, 5]).validate(chain10)
+
+
+class TestSetAlgebra:
+    def test_add_returns_new(self):
+        a = QueuePlacement.of([1])
+        b = a.add([2, 3])
+        assert len(a) == 1
+        assert len(b) == 3
+
+    def test_remove_returns_new(self):
+        a = QueuePlacement.of([1, 2, 3])
+        b = a.remove([2])
+        assert len(a) == 3
+        assert sorted(b) == [1, 3]
+
+    def test_contains(self):
+        p = QueuePlacement.of([5])
+        assert 5 in p
+        assert 6 not in p
+
+    def test_iteration_is_sorted(self):
+        assert list(QueuePlacement.of([9, 1, 5])) == [1, 5, 9]
+
+    def test_intersection(self):
+        p = QueuePlacement.of([1, 2, 3])
+        assert p.intersection({2, 3, 4}) == (2, 3)
+
+    def test_hashable_and_equal(self):
+        assert QueuePlacement.of([1, 2]) == QueuePlacement.of([2, 1])
+        assert hash(QueuePlacement.of([1])) == hash(QueuePlacement.of([1]))
+
+
+class TestDynamicRatio:
+    def test_empty_is_zero(self, chain10):
+        assert QueuePlacement.empty().dynamic_ratio(chain10) == 0.0
+
+    def test_full_is_one(self, chain10):
+        assert QueuePlacement.full(chain10).dynamic_ratio(chain10) == 1.0
+
+    def test_partial(self):
+        g = pipeline(10)
+        # 11 queueable (ops + sink); 5 queued
+        p = QueuePlacement.of([1, 2, 3, 4, 5])
+        assert p.dynamic_ratio(g) == pytest.approx(5 / 11)
+
+    def test_repr_compact(self):
+        p = QueuePlacement.of(range(1, 20))
+        assert "19 queues" in repr(p)
+        assert "..." in repr(p)

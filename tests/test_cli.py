@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_machine(self):
+        args = build_parser().parse_args(
+            ["run", "fig09", "--machine", "power8"]
+        )
+        assert args.experiment == "fig09"
+        assert args.machine == "power8"
+
+    def test_elastic_defaults(self):
+        args = build_parser().parse_args(["elastic"])
+        assert args.operators == 100
+        assert args.payload == 1024
+        assert args.machine == "xeon"
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "fig15a" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_elastic_small_run(self, capsys):
+        code = main(
+            [
+                "elastic",
+                "--operators", "20",
+                "--payload", "256",
+                "--machine", "laptop",
+                "--cores", "4",
+                "--duration", "800",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged throughput" in out
+        assert "scheduler threads" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--operators", "20",
+                "--machine", "laptop",
+                "--cores", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fraction dynamic" in out
+
+    def test_run_fig12(self, capsys):
+        code = main(["run", "fig12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bushy" in out
+
+    def test_run_fig15a(self, capsys):
+        code = main(["run", "fig15a"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VWAP" in out
+
+    def test_run_fig13(self, capsys):
+        code = main(["run", "fig13"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threads" in out
+        assert "re-settle" in out
+
+    def test_latency_profile(self, capsys):
+        code = main(
+            [
+                "latency",
+                "--operators", "20",
+                "--machine", "laptop",
+                "--cores", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency ms" in out
+        assert "100% dynamic" in out
