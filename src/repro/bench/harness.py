@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.thread_count import ThreadCountElasticity
 from ..graph.model import StreamGraph
+from ..obs.hub import Obs, ensure_hub
 from ..perfmodel.machine import MachineProfile
 from ..perfmodel.noise import NoiseModel
 from ..perfmodel.throughput import PerformanceModel
@@ -121,6 +122,7 @@ def run_dynamic_only(
     machine: MachineProfile,
     config: Optional[RuntimeConfig] = None,
     max_periods: int = 400,
+    obs: Optional[Obs] = None,
 ) -> BaselineResult:
     """Full dynamic placement + thread count elasticity alone.
 
@@ -130,6 +132,10 @@ def run_dynamic_only(
     real system.
     """
     config = config or RuntimeConfig(cores=machine.logical_cores)
+    hub = ensure_hub(obs)
+    hub.registry.counter(
+        "bench.runs.dynamic", "dynamic-only baseline runs"
+    ).inc()
     model = PerformanceModel(graph, machine)
     placement = QueuePlacement.full(graph)
     noise = NoiseModel(std=config.noise_std, seed=config.seed + 7)
@@ -138,6 +144,7 @@ def run_dynamic_only(
         max_threads=config.effective_max_threads,
         initial_threads=config.elasticity.initial_threads,
         sens=config.elasticity.sens,
+        obs=hub,
     )
     threads = controller.current
     for _ in range(max_periods):
@@ -162,11 +169,16 @@ def run_multi_level(
     machine: MachineProfile,
     config: Optional[RuntimeConfig] = None,
     duration_s: float = DEFAULT_DURATION_S,
+    obs: Optional[Obs] = None,
 ) -> BaselineResult:
     """The full coordinated multi-level elasticity run."""
     config = config or RuntimeConfig(cores=machine.logical_cores)
+    hub = ensure_hub(obs)
+    hub.registry.counter(
+        "bench.runs.multi_level", "multi-level elasticity runs"
+    ).inc()
     pe = ProcessingElement(graph, machine, config)
-    executor = AdaptationExecutor(pe)
+    executor = AdaptationExecutor(pe, obs=hub)
     result = executor.run(
         duration_s, stop_after_stable_periods=STABLE_PERIODS_TO_STOP
     )
@@ -186,12 +198,13 @@ def compare(
     config: Optional[RuntimeConfig] = None,
     hand: Optional[Tuple[QueuePlacement, int]] = None,
     workload: str = "",
+    obs: Optional[Obs] = None,
 ) -> Comparison:
     """Run every strategy on one workload."""
     config = config or RuntimeConfig(cores=machine.logical_cores)
     manual = run_manual(graph, machine)
-    dynamic = run_dynamic_only(graph, machine, config)
-    multi = run_multi_level(graph, machine, config)
+    dynamic = run_dynamic_only(graph, machine, config, obs=obs)
+    multi = run_multi_level(graph, machine, config, obs=obs)
     hand_result = None
     if hand is not None:
         hand_result = run_hand_optimized(graph, machine, hand[0], hand[1])

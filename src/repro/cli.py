@@ -287,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine", default="xeon", choices=["xeon", "power8"]
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="replay an experiment and export its decision trace",
+    )
+    from .obs.trace_cli import add_trace_arguments
+
+    add_trace_arguments(trace)
+
     for cmd, helptext in [
         ("elastic", "run multi-level elasticity on a pipeline"),
         ("sweep", "static oracle sweep over the dynamic fraction"),
@@ -307,11 +315,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.trace_cli import run_trace
+
+    return run_trace(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "elastic": _cmd_elastic,
         "sweep": _cmd_sweep,
         "latency": _cmd_latency,

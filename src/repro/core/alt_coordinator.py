@@ -27,10 +27,12 @@ from __future__ import annotations
 import enum
 from typing import Callable, List, Optional, Sequence
 
+from ..obs.hub import Obs, ensure_hub
 from ..runtime.config import ElasticityConfig
 from .binning import ProfilingGroup
-from .coordinator import CoordinatorAction
+from .coordinator import CoordinatorAction, _join_detail as _join
 from .history import Direction
+from .metrics import Trend, classify_trend
 from .thread_count import ThreadCountElasticity
 from .threading_model import (
     AdjustDecision,
@@ -59,12 +61,14 @@ class ThreadingPrimaryCoordinator:
         max_threads: int,
         profile_provider: Callable[[], Sequence[ProfilingGroup]],
         seed: int = 0,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.config = config
         self.max_threads = max_threads
         self.profile_provider = profile_provider
+        self._obs = ensure_hub(obs)
         self.threading_model = ThreadingModelElasticity(
-            seed=seed, sens=config.sens
+            seed=seed, sens=config.sens, obs=self._obs
         )
         self.mode = AltMode.INIT
         self._tc: Optional[ThreadCountElasticity] = None
@@ -72,6 +76,11 @@ class ThreadingPrimaryCoordinator:
         self._outer_rounds = 0
         self._max_outer_rounds = 8
         self._mode_log: List[AltMode] = []
+        # Per-step decision attribution, folded into the single
+        # Decision record emitted at the end of each step().
+        self._rule = ""
+        self._detail = ""
+        self._last_observed: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -98,10 +107,40 @@ class ThreadingPrimaryCoordinator:
             max_threads=self.max_threads,
             initial_threads=self.config.min_threads,
             sens=self.config.sens,
+            obs=self._obs,
         )
 
     def step(self, observed: float) -> CoordinatorAction:
         self._mode_log.append(self.mode)
+        mode_before = self.mode
+        self._rule = ""
+        self._detail = ""
+        action = self._step_impl(observed)
+        if self._last_observed is None:
+            trend = Trend.FLAT
+        else:
+            trend = classify_trend(
+                self._last_observed, observed, self.config.sens
+            )
+        self._last_observed = observed
+        self._obs.decision(
+            component="alt_coordinator",
+            mode=mode_before.value,
+            rule=self._rule or "ALT-HOLD",
+            detail=self._detail,
+            observed=observed,
+            trend=trend.value,
+            set_threads=action.set_threads,
+            set_n_queues=(
+                action.set_placement.n_queues
+                if action.set_placement is not None
+                else None
+            ),
+            note=action.note,
+        )
+        return action
+
+    def _step_impl(self, observed: float) -> CoordinatorAction:
         if self.mode is AltMode.INIT:
             groups = list(self.profile_provider())
             self.threading_model.set_groups(
@@ -110,6 +149,7 @@ class ThreadingPrimaryCoordinator:
             step = self.threading_model.begin_phase(
                 Direction.UP, observed
             )
+            self._rule = "ALT-INIT"
             return self._emit(step, observed)
 
         if self.mode is AltMode.INNER_THREADS:
@@ -117,6 +157,8 @@ class ThreadingPrimaryCoordinator:
             proposal = self._tc.propose(observed)
             if proposal is not None:
                 self._threads = proposal
+                self._rule = "ALT-INNER-THREADS"
+                self._detail = self._tc.last_rule
                 return CoordinatorAction(
                     set_threads=proposal, note="inner thread search"
                 )
@@ -126,14 +168,19 @@ class ThreadingPrimaryCoordinator:
                 settled_throughput = (
                     self._tc.measurement(self._tc.current) or observed
                 )
+                self._detail = self._tc.last_rule
                 self._tc = None
                 if not self.threading_model.phase_active:
                     self.mode = AltMode.STABLE
+                    self._rule = "ALT-SETTLED"
                     return CoordinatorAction(note="settled")
                 step = self.threading_model.step(settled_throughput)
                 return self._emit(step, settled_throughput)
+            self._rule = "ALT-HOLD"
+            self._detail = self._tc.last_rule
             return CoordinatorAction(note="inner holding")
 
+        self._rule = "ALT-STABLE"
         return CoordinatorAction(note="stable")
 
     def _emit(self, step: Step, observed: float) -> CoordinatorAction:
@@ -150,6 +197,11 @@ class ThreadingPrimaryCoordinator:
                 if not next_step.done:
                     return self._start_inner(next_step)
             self.mode = AltMode.STABLE
+            if not self._rule or self._rule == "ALT-INIT":
+                self._rule = "ALT-SETTLED"
+            self._detail = _join(
+                self._detail, f"tm-{step.decision.value}"
+            )
             return CoordinatorAction(
                 set_placement=step.placement,
                 note=f"outer settled ({step.decision.value})",
@@ -161,6 +213,11 @@ class ThreadingPrimaryCoordinator:
         self.mode = AltMode.INNER_THREADS
         self._tc = self._new_inner_search()
         self._threads = self._tc.current
+        if self._rule != "ALT-INIT":
+            self._rule = "ALT-OUTER-TRIAL"
+        tm_rule = self.threading_model.last_rule
+        if tm_rule:
+            self._detail = _join(self._detail, tm_rule)
         return CoordinatorAction(
             set_placement=step.placement,
             set_threads=self._threads,

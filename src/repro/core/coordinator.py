@@ -33,17 +33,28 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from ..obs.hub import Obs, ensure_hub
 from ..runtime.config import ElasticityConfig
 from ..runtime.queues import QueuePlacement
 from .binning import ProfilingGroup
 from .history import AdjustmentHistory, Direction
-from .satisfaction import SatisfactionSample, should_skip_secondary
+from .metrics import Trend, classify_trend
+from .satisfaction import (
+    SatisfactionSample,
+    measured_satisfaction,
+    should_skip_secondary,
+)
 from .thread_count import ThreadCountElasticity
 from .threading_model import (
     AdjustDecision,
     Step,
     ThreadingModelElasticity,
 )
+
+
+def _join_detail(existing: str, extra: str) -> str:
+    """Append a decision-detail fragment, space-separated."""
+    return f"{existing} {extra}" if existing else extra
 
 
 class Mode(enum.Enum):
@@ -86,11 +97,13 @@ class MultiLevelCoordinator:
         seed: int = 0,
         workload_change_factor: float = 3.0,
         workload_change_persistence: int = 2,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.config = config
         self.profile_provider = profile_provider
+        self._obs = ensure_hub(obs)
         self.threading_model = ThreadingModelElasticity(
-            seed=seed, sens=config.sens
+            seed=seed, sens=config.sens, obs=self._obs
         )
         self.thread_count = ThreadCountElasticity(
             min_threads=config.min_threads,
@@ -101,6 +114,7 @@ class MultiLevelCoordinator:
             ),
             initial_threads=config.initial_threads,
             sens=config.sens,
+            obs=self._obs,
         )
         self.history = AdjustmentHistory()
         self.mode = Mode.INIT
@@ -114,6 +128,12 @@ class MultiLevelCoordinator:
         self._workload_change_factor = workload_change_factor
         self._workload_change_persistence = workload_change_persistence
         self._mode_log: List[Mode] = []
+        # Per-period decision attribution, reset at every step().
+        self._rule: Optional[str] = None
+        self._detail: str = ""
+        self._history_hit = False
+        self._satisfaction: Optional[float] = None
+        self._last_observed: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -133,19 +153,57 @@ class MultiLevelCoordinator:
 
     # ------------------------------------------------------------------
     def step(self, observed: float) -> CoordinatorAction:
-        """Process one adaptation period's throughput observation."""
+        """Process one adaptation period's throughput observation.
+
+        Exactly one :class:`~repro.obs.decisions.Decision` is emitted
+        per call: the branch methods attribute the action to the R1-R5
+        search rule or Fig. 7 branch that produced it, and the record
+        is written here so no path can skip (or double-count) it.
+        """
         self._mode_log.append(self.mode)
+        mode_before = self.mode
+        self._rule = None
+        self._detail = ""
+        self._history_hit = False
+        self._satisfaction = None
         if self.mode is Mode.INIT:
-            return self._step_init(observed)
-        if self.mode is Mode.THREADING_MODEL:
-            return self._step_threading_model(observed)
-        if self.mode is Mode.THREAD_COUNT:
-            return self._step_thread_count(observed)
-        return self._step_stable(observed)
+            action = self._step_init(observed)
+        elif self.mode is Mode.THREADING_MODEL:
+            action = self._step_threading_model(observed)
+        elif self.mode is Mode.THREAD_COUNT:
+            action = self._step_thread_count(observed)
+        else:
+            action = self._step_stable(observed)
+        if self._last_observed is None:
+            trend = Trend.FLAT
+        else:
+            trend = classify_trend(
+                self._last_observed, observed, self.config.sens
+            )
+        self._last_observed = observed
+        self._obs.decision(
+            component="coordinator",
+            mode=mode_before.value,
+            rule=self._rule or "F7-HOLD",
+            detail=self._detail,
+            observed=observed,
+            trend=trend.value,
+            history_hit=self._history_hit,
+            satisfaction=self._satisfaction,
+            set_threads=action.set_threads,
+            set_n_queues=(
+                action.set_placement.n_queues
+                if action.set_placement is not None
+                else None
+            ),
+            note=action.note,
+        )
+        return action
 
     # ------------------------------------------------------------------
     def _step_init(self, observed: float) -> CoordinatorAction:
         """First observation: profile, then open the initial UP phase."""
+        self._rule = "F7-INIT"
         groups = list(self.profile_provider())
         self.threading_model.set_groups(
             groups, self.threading_model.placement()
@@ -156,6 +214,7 @@ class MultiLevelCoordinator:
     # ------------------------------------------------------------------
     def _step_threading_model(self, observed: float) -> CoordinatorAction:
         step = self.threading_model.step(observed)
+        self._rule = self.threading_model.last_rule
         return self._emit_tm_step(step, observed)
 
     def _emit_tm_step(
@@ -163,10 +222,17 @@ class MultiLevelCoordinator:
     ) -> CoordinatorAction:
         if not step.done:
             self.mode = Mode.THREADING_MODEL
+            if self._rule is None:
+                self._rule = self.threading_model.last_rule
             return CoordinatorAction(
                 set_placement=step.placement,
                 note=note or "threading model trial",
             )
+        if self._rule is None or self._rule in ("F7-TM-BEGIN",):
+            self._rule = "F7-TM-SETTLED"
+        self._detail = _join_detail(
+            self._detail, f"tm-{step.decision.value}"
+        )
         # Phase finished: bookkeeping per Fig. 7 lines 18-22.
         level = self.thread_count.current
         if self._in_settle_probe:
@@ -207,6 +273,7 @@ class MultiLevelCoordinator:
         if pending is not None:
             direction = self._secondary_direction(pending, observed)
             if direction is not Direction.NONE:
+                self._rule = f"F7-SECONDARY-{direction.value.upper()}"
                 step = self.threading_model.begin_phase(direction, observed)
                 return self._emit_tm_step(
                     step,
@@ -218,6 +285,10 @@ class MultiLevelCoordinator:
         prev_level = self.thread_count.current
         new_level = self.thread_count.propose(observed)
         if new_level is not None:
+            self._rule = "F7-THREAD-COUNT"
+            self._detail = _join_detail(
+                self._detail, self.thread_count.last_rule
+            )
             self._pending = _PendingThreadChange(
                 prev_threads=prev_level,
                 new_threads=new_level,
@@ -264,6 +335,10 @@ class MultiLevelCoordinator:
                 self._settle_probes_done += 1
                 self._last_settle_direction = direction
                 self._in_settle_probe = True
+                self._rule = "F7-SETTLE-PROBE"
+                self._detail = _join_detail(
+                    self._detail, f"probe-{direction.value}"
+                )
                 step = self.threading_model.begin_phase(
                     direction, observed
                 )
@@ -275,7 +350,9 @@ class MultiLevelCoordinator:
             self.mode = Mode.STABLE
             self._stable_baseline = observed
             self._deviation_streak = 0
+            self._rule = "F7-SETTLED"
             return CoordinatorAction(note="settled")
+        self._rule = "F7-HOLD"
         return CoordinatorAction(note="thread count holding")
 
     def _secondary_direction(
@@ -289,12 +366,18 @@ class MultiLevelCoordinator:
                 prev_threads=pending.prev_threads,
                 new_threads=pending.new_threads,
             )
+            self._satisfaction = measured_satisfaction(sample)
             if should_skip_secondary(
                 sample, self.config.satisfaction_threshold
             ):
+                self._detail = _join_detail(self._detail, "sf-skip")
                 return Direction.NONE
         if self.config.use_history:
-            return self.history.direction_for(pending.new_threads)
+            direction = self.history.direction_for(pending.new_threads)
+            if direction is Direction.NONE:
+                self._history_hit = True
+                self._detail = _join_detail(self._detail, "history-skip")
+            return direction
         # No history optimization: always explore, in the direction the
         # thread count moved (Fig. 6(a) behaviour: every thread change
         # triggers threading model elasticity).
@@ -305,6 +388,7 @@ class MultiLevelCoordinator:
     # ------------------------------------------------------------------
     def _step_stable(self, observed: float) -> CoordinatorAction:
         """Monitor for workload change (Fig. 13)."""
+        self._rule = "F7-STABLE"
         baseline = self._stable_baseline
         if baseline is None or baseline == 0.0:
             self._stable_baseline = observed
@@ -323,6 +407,7 @@ class MultiLevelCoordinator:
 
     def _restart(self, observed: float) -> CoordinatorAction:
         """Workload change detected: re-profile and re-explore."""
+        self._rule = "F7-WORKLOAD-CHANGE"
         self._deviation_streak = 0
         self._stable_baseline = None
         self._settle_probes_done = 0

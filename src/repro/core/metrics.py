@@ -28,7 +28,10 @@ def classify_trend(previous: float, current: float, sens: float) -> Trend:
     indistinguishable from system noise and classified FLAT.
     """
     if previous < 0 or current < 0:
-        raise ValueError("throughput observations must be non-negative")
+        raise ValueError(
+            "throughput observations must be non-negative, got "
+            f"previous={previous!r}, current={current!r}"
+        )
     if previous == 0.0:
         return Trend.UP if current > 0.0 else Trend.FLAT
     ratio = current / previous

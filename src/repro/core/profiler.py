@@ -17,11 +17,12 @@ the real profiler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..graph.model import StreamGraph
+from ..obs.hub import Obs, ensure_hub
 from ..perfmodel.machine import MachineProfile
 
 
@@ -67,12 +68,22 @@ class SamplingProfiler:
         machine: MachineProfile,
         n_samples: int = 200,
         seed: int = 0,
+        obs: Optional[Obs] = None,
     ) -> None:
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
         self.machine = machine
         self.n_samples = n_samples
         self._rng = np.random.default_rng(seed)
+        hub = ensure_hub(obs)
+        self._m_passes = hub.registry.counter(
+            "profiler.passes", "profiling passes taken"
+        )
+        self._m_nonzero = hub.registry.histogram(
+            "profiler.nonzero_ops",
+            bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+            description="operators with nonzero samples per pass",
+        )
 
     def expected_weights(self, graph: StreamGraph) -> Dict[int, float]:
         """Noise-free sampling weights: rate_i * exec_time_i.
@@ -98,6 +109,8 @@ class SamplingProfiler:
         else:
             probs = w / total
             counts = self._rng.multinomial(self.n_samples, probs)
+        self._m_passes.inc()
+        self._m_nonzero.observe(int((counts > 0).sum()))
         return CostProfile(
             counts=tuple(
                 (idx, int(c)) for idx, c in zip(indices, counts)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional
 
+from ..obs.hub import Obs, ensure_hub
 from .metrics import significantly_better
 
 
@@ -49,6 +50,7 @@ class ThreadCountElasticity:
         max_threads: int = 16,
         initial_threads: Optional[int] = None,
         sens: float = 0.05,
+        obs: Optional[Obs] = None,
     ) -> None:
         if min_threads < 1:
             raise ValueError(f"min_threads must be >= 1, got {min_threads}")
@@ -73,6 +75,20 @@ class ThreadCountElasticity:
         self._refine_lo = self.min_threads
         self._refine_hi = self.max_threads
         self._restart_anchor: Optional[int] = None
+        #: What the most recent propose() did, e.g. "explore:4->8",
+        #: "refine:12->10", "settle:8", "hold".  Consumed by the
+        #: coordinator's Decision records as the `detail` field.
+        self.last_rule: str = ""
+        hub = ensure_hub(obs)
+        self._m_proposals = hub.registry.counter(
+            "tc.proposals", "thread-count changes proposed"
+        )
+        self._m_settles = hub.registry.counter(
+            "tc.settles", "thread-count searches settled"
+        )
+        self._m_resets = hub.registry.counter(
+            "tc.resets", "thread-count searches restarted"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +118,7 @@ class ThreadCountElasticity:
         self._measurements.clear()
         self._prev_level = None
         self._restart_anchor = self.level
+        self._m_resets.inc()
 
     # ------------------------------------------------------------------
     def _granularity(self, level: int) -> int:
@@ -135,9 +152,12 @@ class ThreadCountElasticity:
         ]
         best = min(candidates)
         self._phase = _Phase.SETTLED
+        self._m_settles.inc()
+        self.last_rule = f"settle:{best}"
         if best != self.level:
             self._prev_level = self.level
             self.level = best
+            self._m_proposals.inc()
             return best
         return None
 
@@ -150,8 +170,10 @@ class ThreadCountElasticity:
         if observed < 0:
             raise ValueError(f"observed throughput must be >= 0: {observed}")
         self._measurements[self.level] = observed
+        self.last_rule = "hold"
 
         if self._phase is _Phase.SETTLED:
+            self.last_rule = f"settled:{self.level}"
             return None
 
         if self._phase is _Phase.EXPLORE:
@@ -170,9 +192,15 @@ class ThreadCountElasticity:
                     self._restart_anchor = self.level
                     self._prev_level = self.level
                     self.level = max(self.min_threads, self.level // 2)
+                    self.last_rule = (
+                        f"probe-down:{self._prev_level}->{self.level}"
+                    )
+                    self._m_proposals.inc()
                     return self.level
                 self._prev_level = self.level
                 self.level = self._next_up(self.level)
+                self.last_rule = f"explore:{self._prev_level}->{self.level}"
+                self._m_proposals.inc()
                 return self.level
             prev_throughput = self._measurements[prev]
             degraded = significantly_better(
@@ -201,6 +229,8 @@ class ThreadCountElasticity:
                     return self._settle_at_best()
                 self._prev_level = self.level
                 self.level = self._next_up(self.level)
+                self.last_rule = f"explore:{self._prev_level}->{self.level}"
+                self._m_proposals.inc()
                 return self.level
             # The latest move significantly degraded throughput.
             if (
@@ -215,6 +245,10 @@ class ThreadCountElasticity:
                 self.level = max(
                     self.min_threads, self._restart_anchor // 2
                 )
+                self.last_rule = (
+                    f"probe-down:{self._prev_level}->{self.level}"
+                )
+                self._m_proposals.inc()
                 return self.level
             # Refine between the knee (the lowest level already within
             # SENS of the best measurement -- flat climbing may have
@@ -260,4 +294,6 @@ class ThreadCountElasticity:
             return self._settle_at_best()
         self._prev_level = self.level
         self.level = mid
+        self.last_rule = f"refine:{self._prev_level}->{mid}"
+        self._m_proposals.inc()
         return mid

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.hub import Obs, ensure_hub
 from ..runtime.queues import QueuePlacement
 from .binning import ProfilingGroup
 from .history import Direction
@@ -136,8 +137,30 @@ class _GroupSearch:
 class ThreadingModelElasticity:
     """Elastic controller for per-operator threading model choice."""
 
-    def __init__(self, seed: int = 0, sens: float = 0.05) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        sens: float = 0.05,
+        obs: Optional[Obs] = None,
+    ) -> None:
         self.sens = sens
+        #: Search rule applied by the most recent begin_phase()/step():
+        #: one of R1-R5 (Fig. 3/4) or "F7-TM-BEGIN" for a phase's first
+        #: probe.  The coordinator copies this into its Decision record.
+        self.last_rule: Optional[str] = None
+        hub = ensure_hub(obs)
+        self._m_phases = hub.registry.counter(
+            "tm.phases", "threading-model exploration phases begun"
+        )
+        self._m_probes = hub.registry.counter(
+            "tm.probes", "trial placements issued by the group search"
+        )
+        self._m_anchor_moves = hub.registry.counter(
+            "tm.anchor_moves", "probes that displaced a group anchor"
+        )
+        self._m_group_settles = hub.registry.counter(
+            "tm.group_settles", "groups settled via rule R5"
+        )
         self._rng = np.random.default_rng(seed)
         self._groups: List[ProfilingGroup] = []
         self._orders: List[List[int]] = []
@@ -212,6 +235,8 @@ class ThreadingModelElasticity:
         """
         if direction is Direction.NONE:
             raise ValueError("begin_phase requires UP or DOWN")
+        self.last_rule = "F7-TM-BEGIN"
+        self._m_phases.inc()
         self._direction = direction
         self._phase_start_placement = self.placement()
         self._best_placement = self._phase_start_placement
@@ -281,6 +306,7 @@ class ThreadingModelElasticity:
             self._rng.shuffle(head)
             order[:a] = head
         self._counts[gi] = probe
+        self._m_probes.inc()
 
     # ------------------------------------------------------------------
     def step(self, observed: float) -> Step:
@@ -301,6 +327,8 @@ class ThreadingModelElasticity:
         ):
             old_anchor = search.anchor
             search.anchor = probe
+            self.last_rule = "R1" if search.mode == "fwd" else "R3"
+            self._m_anchor_moves.inc()
             # The probe's subset becomes the anchor subset; it already
             # occupies order[:probe].
             if search.mode == "fwd":
@@ -308,6 +336,7 @@ class ThreadingModelElasticity:
             else:
                 search.fwd = old_anchor
         else:
+            self.last_rule = "R2" if search.mode == "fwd" else "R4"
             if search.mode == "fwd":
                 search.fwd = probe
             else:
@@ -343,6 +372,8 @@ class ThreadingModelElasticity:
     def _settle_group(self, search: _GroupSearch) -> Step:
         """Fix the group on its best SENS-significant (count, subset)
         and continue with the next group."""
+        self.last_rule = "R5"
+        self._m_group_settles.inc()
         gi = search.group_index
         base_t, base_subset = search.measurements[search.baseline_count]
         best_count, (best_t, best_subset) = (

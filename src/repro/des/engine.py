@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..graph.model import StreamGraph
+from ..obs.hub import Obs, ensure_hub
 from ..perfmodel.machine import MachineProfile
 from ..runtime.queues import QueuePlacement
 from ..runtime.regions import Region, decompose
@@ -86,6 +87,7 @@ class DesEngine:
         placement: QueuePlacement,
         scheduler_threads: int,
         queue_capacity: int = 16,
+        obs: Optional[Obs] = None,
     ) -> None:
         if scheduler_threads < 0:
             raise ValueError(
@@ -131,6 +133,29 @@ class DesEngine:
         self.registry = ThreadRegistry()
         self.profiler: Optional[SnapshotProfiler] = None
         self._started = False
+        # Tuple-path metrics, bound once here; with no hub attached
+        # these are the shared null singletons (one no-op call per
+        # event), so detached runs measure identically.
+        hub = ensure_hub(obs)
+        self._m_runs = hub.registry.counter(
+            "des.runs", "DES measurement runs completed"
+        )
+        self._m_source = hub.registry.counter(
+            "des.source_tuples", "tuples emitted by source regions"
+        )
+        self._m_sink = hub.registry.counter(
+            "des.sink_tuples", "tuples consumed at sinks (expected)"
+        )
+        self._m_pushes = hub.registry.counter(
+            "des.queue_pushes", "tuples pushed into scheduler queues"
+        )
+        self._m_idle = hub.registry.counter(
+            "des.idle_scans", "scheduler scans that found no work"
+        )
+        self._m_helps = hub.registry.counter(
+            "des.backpressure_helps",
+            "consumer regions executed inline by a blocked producer",
+        )
 
     # ------------------------------------------------------------------
     # process bodies
@@ -171,8 +196,10 @@ class DesEngine:
                 yield Timeout(busy(dt))
             if op.is_sink:
                 self._sink_count += n
+                self._m_sink.inc(n)
         if count_source:
             self._source_count += 1.0
+            self._m_source.inc()
         self.registry.set_current(thread_name, None)
         for queue_op, push_rate in region.push_rates:
             credit_key = (region.entry, queue_op)
@@ -217,11 +244,13 @@ class DesEngine:
                 yield Release(port)
                 break
             self.sim.pop_nowait(queue)
+            self._m_helps.inc()
             yield Timeout(self.machine.lock_uncontended_s)
             yield from self._region_work(
                 consumer, count_source=False, thread_name=thread_name
             )
             yield Release(port)
+        self._m_pushes.inc()
         yield Put(queue, _TOKEN)
 
     def _source_thread(self, region: Region) -> Generator[Request, object, None]:
@@ -276,6 +305,7 @@ class DesEngine:
                     cursor = (cursor + i + 1) % n
                     break
             if found is None:
+                self._m_idle.inc()
                 yield Put(self._core_pool, _TOKEN)
                 yield Timeout(_IDLE_BACKOFF_S)
                 continue
@@ -365,6 +395,7 @@ class DesEngine:
             (name, min(1.0, t / window) if window else 0.0)
             for name, t in sorted(self._busy_s.items())
         )
+        self._m_runs.inc()
         return DesResult(
             sink_tuples_per_s=self._sink_count / window if window else 0.0,
             source_tuples_per_s=(
@@ -385,6 +416,7 @@ def measure_throughput(
     warmup_s: float = 0.002,
     measure_s: float = 0.01,
     queue_capacity: int = 16,
+    obs: Optional[Obs] = None,
 ) -> DesResult:
     """Convenience wrapper: build, run and measure one configuration."""
     engine = DesEngine(
@@ -393,5 +425,6 @@ def measure_throughput(
         placement,
         scheduler_threads,
         queue_capacity=queue_capacity,
+        obs=obs,
     )
     return engine.run(warmup_s=warmup_s, measure_s=measure_s)

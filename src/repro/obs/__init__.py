@@ -1,0 +1,90 @@
+"""repro.obs — structured observability for the elastic control loop.
+
+Three cooperating pieces:
+
+- :mod:`repro.obs.registry` — a metrics registry (counters, gauges,
+  fixed-bucket histograms) cheap enough for the DES tuple path;
+- :mod:`repro.obs.decisions` — structured decision records carrying
+  the R1-R5 / Fig. 7 rule that fired, history hits and the measured
+  satisfaction factor;
+- :mod:`repro.obs.exporters` — JSONL / CSV / Prometheus text
+  renderings of the log and the registry.
+
+The :class:`~repro.obs.hub.ObservabilityHub` ties them together and is
+the single object callers attach::
+
+    from repro.obs import ObservabilityHub
+    from repro.runtime import ProcessingElement, RuntimeConfig, run_elastic
+
+    hub = ObservabilityHub()
+    result = run_elastic(pe, duration_s=3600, obs=hub)
+    for decision in hub.decisions():
+        print(decision.time_s, decision.rule, decision.note)
+
+When no hub is attached every instrumentation point resolves to the
+null hub / null metrics, whose methods are empty: detached runs are
+byte-identical to runs before this subsystem existed.
+"""
+
+from .decisions import (
+    ALT_BRANCHES,
+    F7_BRANCHES,
+    TM_RULES,
+    VALID_RULES,
+    Decision,
+    LoggedEvent,
+)
+from .exporters import (
+    format_log_table,
+    prometheus_text,
+    read_jsonl,
+    record_from_dict,
+    record_to_dict,
+    write_csv,
+    write_jsonl,
+    write_prometheus,
+)
+from .hub import NULL_HUB, NullHub, ObservabilityHub, ensure_hub
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+__all__ = [
+    "ALT_BRANCHES",
+    "F7_BRANCHES",
+    "TM_RULES",
+    "VALID_RULES",
+    "Decision",
+    "LoggedEvent",
+    "format_log_table",
+    "prometheus_text",
+    "read_jsonl",
+    "record_from_dict",
+    "record_to_dict",
+    "write_csv",
+    "write_jsonl",
+    "write_prometheus",
+    "NULL_HUB",
+    "NullHub",
+    "ObservabilityHub",
+    "ensure_hub",
+    "DEFAULT_BUCKETS",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+]

@@ -1,0 +1,273 @@
+"""Exporters: decision logs and metrics in interchange formats.
+
+Three formats, matched to three consumers:
+
+- **JSONL** — one JSON object per log record, ``kind``-tagged; lossless
+  (parses back into the same dataclasses via :func:`read_jsonl`).
+  The format for archiving runs and for downstream tooling.
+- **CSV** — decisions only, fixed columns; for spreadsheets and pandas.
+- **Prometheus text exposition** — the metrics registry rendered in
+  the ``text/plain; version=0.0.4`` format a Prometheus scrape
+  endpoint would serve.
+
+All writers take an iterable of hub records (or a registry, for
+Prometheus) and a text stream; ``*_lines`` helpers return strings for
+callers that do their own IO.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import fields as dataclass_fields
+from typing import IO, Iterable, Iterator, List, Sequence, Union
+
+from ..runtime.events import Observation, PlacementChange, ThreadCountChange
+from .decisions import Decision, LoggedEvent
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+Record = Union[Decision, LoggedEvent]
+
+JSONL_VERSION = 1
+
+_EVENT_TYPES = {
+    "observation": Observation,
+    "thread_change": ThreadCountChange,
+    "placement_change": PlacementChange,
+}
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def record_to_dict(record: Record) -> dict:
+    """``kind``-tagged JSON-serializable form of one log record."""
+    if isinstance(record, Decision):
+        out = {"kind": "decision", "v": JSONL_VERSION}
+        out.update(record.to_dict())
+        return out
+    if isinstance(record, LoggedEvent):
+        out = {
+            "kind": record.kind,
+            "v": JSONL_VERSION,
+            "seq": record.seq,
+        }
+        data = record.data
+        for f in dataclass_fields(data):
+            out[f.name] = getattr(data, f.name)
+        return out
+    raise TypeError(f"not a log record: {record!r}")
+
+
+def record_from_dict(data: dict) -> Record:
+    """Inverse of :func:`record_to_dict`."""
+    kind = data.get("kind")
+    if kind == "decision":
+        return Decision.from_dict(data)
+    event_type = _EVENT_TYPES.get(kind)
+    if event_type is None:
+        raise ValueError(f"unknown record kind {kind!r}")
+    payload = {
+        f.name: data[f.name] for f in dataclass_fields(event_type)
+    }
+    return LoggedEvent(
+        seq=int(data["seq"]),
+        kind=kind,
+        time_s=float(data["time_s"]),
+        data=event_type(**payload),
+    )
+
+
+def jsonl_lines(records: Iterable[Record]) -> Iterator[str]:
+    for record in records:
+        yield json.dumps(record_to_dict(record), sort_keys=True)
+
+
+def write_jsonl(records: Iterable[Record], stream: IO[str]) -> int:
+    """Write the log as JSONL; returns the number of lines written."""
+    n = 0
+    for line in jsonl_lines(records):
+        stream.write(line + "\n")
+        n += 1
+    return n
+
+
+def read_jsonl(source: Union[IO[str], Iterable[str]]) -> List[Record]:
+    """Parse JSONL back into Decision / LoggedEvent records."""
+    records: List[Record] = []
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        records.append(record_from_dict(json.loads(line)))
+    return records
+
+
+# ----------------------------------------------------------------------
+# CSV (decisions only — uniform columns)
+# ----------------------------------------------------------------------
+CSV_COLUMNS = [f.name for f in dataclass_fields(Decision)]
+
+
+def write_csv(records: Iterable[Record], stream: IO[str]) -> int:
+    """Write the decisions from a log as CSV; returns rows written."""
+    writer = csv.writer(stream, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    n = 0
+    for record in records:
+        if not isinstance(record, Decision):
+            continue
+        row = record.to_dict()
+        writer.writerow(["" if row[c] is None else row[c] for c in CSV_COLUMNS])
+        n += 1
+    return n
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not safe or not (safe[0].isalpha() or safe[0] == "_"):
+        safe = "_" + safe
+    return "repro_" + safe
+
+
+def _prom_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_lines(registry: MetricsRegistry) -> Iterator[str]:
+    for metric in registry:
+        name = _prom_name(metric.name)
+        if metric.description:
+            yield f"# HELP {name} {metric.description}"
+        yield f"# TYPE {name} {metric.kind}"
+        if isinstance(metric, Counter):
+            yield f"{name} {_prom_float(metric.value)}"
+        elif isinstance(metric, Gauge):
+            yield f"{name} {_prom_float(metric.value)}"
+        elif isinstance(metric, Histogram):
+            for bound, cum in metric.cumulative():
+                yield (
+                    f'{name}_bucket{{le="{_prom_float(bound)}"}} {cum}'
+                )
+            yield f"{name}_sum {_prom_float(metric.sum)}"
+            yield f"{name}_count {metric.count}"
+
+
+def write_prometheus(registry: MetricsRegistry, stream: IO[str]) -> None:
+    for line in prometheus_lines(registry):
+        stream.write(line + "\n")
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    buf = io.StringIO()
+    write_prometheus(registry, buf)
+    return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# human-readable table (for the CLI's default output)
+# ----------------------------------------------------------------------
+_TABLE_COLUMNS = (
+    "seq",
+    "time_s",
+    "kind",
+    "rule",
+    "mode",
+    "trend",
+    "observed",
+    "change",
+    "detail/note",
+)
+
+
+def _table_row(record: Record) -> Sequence[str]:
+    if isinstance(record, Decision):
+        change = []
+        if record.set_threads is not None:
+            change.append(f"threads={record.set_threads}")
+        if record.set_n_queues is not None:
+            change.append(f"queues={record.set_n_queues}")
+        extra = record.detail
+        if record.history_hit:
+            extra = (extra + " " if extra else "") + "[history-hit]"
+        if record.satisfaction is not None:
+            extra = (
+                extra + " " if extra else ""
+            ) + f"[sf={record.satisfaction:.3f}]"
+        if record.note:
+            extra = (extra + " | " if extra else "") + record.note
+        return (
+            str(record.seq),
+            f"{record.time_s:.0f}",
+            "decision",
+            record.rule,
+            record.mode,
+            record.trend,
+            f"{record.observed:,.0f}",
+            " ".join(change),
+            extra,
+        )
+    data = record.data
+    if isinstance(data, ThreadCountChange):
+        desc = f"threads {data.old_threads}->{data.new_threads}"
+    elif isinstance(data, PlacementChange):
+        desc = f"queues {data.old_n_queues}->{data.new_n_queues}"
+    else:  # Observation
+        desc = (
+            f"threads={data.threads} queues={data.n_queues} "
+            f"mode={data.mode}"
+        )
+    observed = (
+        f"{data.throughput:,.0f}" if isinstance(data, Observation) else ""
+    )
+    return (
+        str(record.seq),
+        f"{record.time_s:.0f}",
+        record.kind,
+        "",
+        "",
+        "",
+        observed,
+        desc if not isinstance(data, Observation) else "",
+        desc if isinstance(data, Observation) else "",
+    )
+
+
+def format_log_table(
+    records: Iterable[Record], include_observations: bool = False
+) -> str:
+    """Fixed-width table of the log, decisions and changes by default."""
+    rows = [
+        _table_row(r)
+        for r in records
+        if include_observations
+        or not (isinstance(r, LoggedEvent) and r.kind == "observation")
+    ]
+    widths = [
+        max(len(col), *(len(row[i]) for row in rows)) if rows else len(col)
+        for i, col in enumerate(_TABLE_COLUMNS)
+    ]
+    lines = [
+        "  ".join(
+            col.ljust(widths[i]) for i, col in enumerate(_TABLE_COLUMNS)
+        ).rstrip()
+    ]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)

@@ -20,12 +20,8 @@ from typing import Optional, Sequence, Tuple
 
 from ..core.coordinator import CoordinatorAction, MultiLevelCoordinator
 from ..graph.model import StreamGraph
-from .events import (
-    AdaptationTrace,
-    Observation,
-    PlacementChange,
-    ThreadCountChange,
-)
+from ..obs.hub import Obs, ensure_hub
+from .events import AdaptationTrace
 from .pe import ProcessingElement
 
 
@@ -48,8 +44,10 @@ class AdaptationExecutor:
         pe: ProcessingElement,
         coordinator: Optional[MultiLevelCoordinator] = None,
         workload_events: Optional[Sequence[Tuple[float, StreamGraph]]] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.pe = pe
+        self._obs = ensure_hub(obs)
         config = pe.config
         if coordinator is None:
             coordinator = MultiLevelCoordinator(
@@ -57,6 +55,7 @@ class AdaptationExecutor:
                 max_threads=config.effective_max_threads,
                 profile_provider=pe.profiling_groups,
                 seed=config.seed,
+                obs=self._obs,
             )
         self.coordinator = coordinator
         self._workload_events = sorted(
@@ -99,8 +98,13 @@ class AdaptationExecutor:
                 self.pe.set_graph(new_graph)
             observed = self.pe.observe_throughput()
             true = self.pe.true_throughput()
+            # The hub clock advances first so the period's observation,
+            # the coordinator's decision and any resulting changes all
+            # land in the same period of the unified log, in causal
+            # order (observation < decision < change).
+            self._obs.tick(time_s)
             trace.observations.append(
-                Observation(
+                self._obs.observation(
                     time_s=time_s,
                     throughput=observed,
                     true_throughput=true,
@@ -130,7 +134,7 @@ class AdaptationExecutor:
             old = self.pe.scheduler_threads
             if action.set_threads != old:
                 trace.thread_changes.append(
-                    ThreadCountChange(
+                    self._obs.thread_change(
                         time_s=time_s,
                         old_threads=old,
                         new_threads=action.set_threads,
@@ -142,7 +146,7 @@ class AdaptationExecutor:
             new_q = action.set_placement.n_queues
             if action.set_placement.queued != self.pe.placement.queued:
                 trace.placement_changes.append(
-                    PlacementChange(
+                    self._obs.placement_change(
                         time_s=time_s,
                         old_n_queues=old_q,
                         new_n_queues=new_q,
@@ -155,7 +159,14 @@ def run_elastic(
     pe: ProcessingElement,
     duration_s: float,
     workload_events: Optional[Sequence[Tuple[float, StreamGraph]]] = None,
+    obs: Optional[Obs] = None,
 ) -> ExecutionResult:
-    """Convenience wrapper: build an executor and run it."""
-    executor = AdaptationExecutor(pe, workload_events=workload_events)
+    """Convenience wrapper: build an executor and run it.
+
+    Pass an :class:`~repro.obs.ObservabilityHub` as ``obs`` to record
+    metrics and the per-period decision log alongside the trace.
+    """
+    executor = AdaptationExecutor(
+        pe, workload_events=workload_events, obs=obs
+    )
     return executor.run(duration_s)

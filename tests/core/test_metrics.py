@@ -37,6 +37,17 @@ class TestClassifyTrend:
         with pytest.raises(ValueError):
             classify_trend(-1, 10, 0.05)
 
+    def test_negative_rejected_message_names_offenders(self):
+        # The message must identify which observation was negative and
+        # its value, so a failed adaptation run is debuggable from the
+        # traceback alone.
+        with pytest.raises(ValueError, match=r"previous=-1.*current=10"):
+            classify_trend(-1, 10, 0.05)
+        with pytest.raises(
+            ValueError, match=r"non-negative.*current=-2\.5"
+        ):
+            classify_trend(100, -2.5, 0.05)
+
     @given(
         prev=st.floats(1e-6, 1e9),
         curr=st.floats(0, 1e9),

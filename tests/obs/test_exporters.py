@@ -1,0 +1,130 @@
+"""Round-trip and rendering tests for the trace exporters."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import (
+    Decision,
+    MetricsRegistry,
+    ObservabilityHub,
+    format_log_table,
+    prometheus_text,
+    read_jsonl,
+    record_from_dict,
+    record_to_dict,
+    write_csv,
+    write_jsonl,
+)
+
+
+def _populated_hub() -> ObservabilityHub:
+    hub = ObservabilityHub()
+    hub.tick(5.0)
+    hub.observation(
+        time_s=5.0,
+        throughput=1000.0,
+        true_throughput=1010.0,
+        threads=2,
+        n_queues=3,
+        mode="thread_count",
+    )
+    hub.decision(
+        component="coordinator",
+        mode="thread_count",
+        rule="F7-THREAD-COUNT",
+        detail="explore:2->4",
+        observed=1000.0,
+        trend="up",
+        set_threads=4,
+        note="thread count proposal",
+    )
+    hub.thread_change(time_s=5.0, old_threads=2, new_threads=4)
+    hub.tick(10.0)
+    hub.decision(
+        component="coordinator",
+        mode="threading_model",
+        rule="R2",
+        observed=1100.0,
+        trend="up",
+        set_n_queues=2,
+    )
+    hub.placement_change(time_s=10.0, old_n_queues=3, new_n_queues=2)
+    return hub
+
+
+class TestJsonlRoundTrip:
+    def test_lossless(self):
+        hub = _populated_hub()
+        buf = io.StringIO()
+        write_jsonl(hub.records(), buf)
+        buf.seek(0)
+        restored = read_jsonl(buf)
+        assert tuple(restored) == hub.records()
+
+    def test_record_dict_round_trip_every_kind(self):
+        for record in _populated_hub().records():
+            assert record_from_dict(record_to_dict(record)) == record
+
+
+class TestCsv:
+    def test_contains_decisions_only(self):
+        hub = _populated_hub()
+        buf = io.StringIO()
+        write_csv(hub.records(), buf)
+        lines = buf.getvalue().strip().splitlines()
+        # header + one row per decision
+        assert len(lines) == 1 + len(hub.decisions())
+        assert lines[0].startswith("seq,")
+        assert "F7-THREAD-COUNT" in lines[1]
+        assert "R2" in lines[2]
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("loop.decisions", "d").inc(3)
+        reg.gauge("loop.threads").set(4)
+        reg.histogram("des.lat", bounds=(1, 10)).observe(5)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_loop_decisions counter" in text
+        assert "repro_loop_decisions 3" in text
+        assert "repro_loop_threads 4" in text
+        assert 'repro_des_lat_bucket{le="10"} 1' in text
+        assert 'repro_des_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_des_lat_count 1" in text
+
+
+class TestTable:
+    def test_observations_hidden_by_default(self):
+        hub = _populated_hub()
+        table = format_log_table(hub.records())
+        assert "F7-THREAD-COUNT" in table
+        assert "observation" not in table
+        everything = format_log_table(
+            hub.records(), include_observations=True
+        )
+        assert "observation" in everything
+
+
+class TestDecisionValidation:
+    def test_unknown_rule_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Decision(
+                seq=0,
+                time_s=0.0,
+                period=0,
+                component="coordinator",
+                mode="init",
+                rule="R99",
+                detail="",
+                observed=0.0,
+                trend="flat",
+                history_hit=False,
+                satisfaction=None,
+                set_threads=None,
+                set_n_queues=None,
+                note="",
+            )

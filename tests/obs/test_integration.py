@@ -1,0 +1,107 @@
+"""End-to-end properties of an observed elastic run.
+
+The contract under test is the one docs/OBSERVABILITY.md promises:
+one coordinator Decision per adaptation period, a closed rule
+vocabulary, every applied configuration change attributable to the
+decision immediately preceding it — and byte-identical behaviour when
+the hub is detached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.topologies import pipeline
+from repro.obs import VALID_RULES, Decision, LoggedEvent, ObservabilityHub
+from repro.perfmodel.machine import laptop
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.executor import run_elastic
+from repro.runtime.pe import ProcessingElement
+
+
+def _pe(seed: int = 0) -> ProcessingElement:
+    graph = pipeline(20, cost_flops=100.0, payload_bytes=256)
+    machine = laptop(cores=8)
+    return ProcessingElement(
+        graph, machine, RuntimeConfig(cores=8, seed=seed)
+    )
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    hub = ObservabilityHub()
+    result = run_elastic(_pe(), duration_s=2_000.0, obs=hub)
+    return hub, result
+
+
+class TestDecisionPerPeriod:
+    def test_exactly_one_decision_per_adaptation_period(self, observed_run):
+        hub, _result = observed_run
+        observations = hub.events("observation")
+        decisions = hub.decisions()
+        assert len(observations) > 0
+        assert len(decisions) == len(observations)
+        # Periods are consecutive, one decision each.
+        assert [d.period for d in decisions] == list(range(len(decisions)))
+
+    def test_every_rule_is_in_the_closed_vocabulary(self, observed_run):
+        hub, _result = observed_run
+        for decision in hub.decisions():
+            assert decision.rule in VALID_RULES
+
+    def test_metrics_agree_with_the_log(self, observed_run):
+        hub, _result = observed_run
+        reg = hub.registry
+        assert reg.get("loop.decisions").value == len(hub.decisions())
+        assert reg.get("loop.periods").value == len(
+            hub.events("observation")
+        )
+        assert reg.get("loop.thread_changes").value == len(
+            hub.events("thread_change")
+        )
+
+
+class TestCausalOrdering:
+    def test_every_change_is_preceded_by_its_decision(self, observed_run):
+        hub, _result = observed_run
+        records = hub.records()
+        for i, record in enumerate(records):
+            if not isinstance(record, LoggedEvent):
+                continue
+            if record.kind not in ("thread_change", "placement_change"):
+                continue
+            preceding = [
+                r for r in records[:i] if isinstance(r, Decision)
+            ]
+            assert preceding, f"change at seq {record.seq} has no decision"
+            decision = preceding[-1]
+            assert decision.time_s == record.time_s
+            if record.kind == "thread_change":
+                assert decision.set_threads == record.data.new_threads
+            else:
+                assert decision.set_n_queues == record.data.new_n_queues
+
+    def test_sequence_numbers_are_total_order(self, observed_run):
+        hub, _result = observed_run
+        seqs = [r.seq for r in hub.records()]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+
+
+class TestDetachedIdentity:
+    def test_observed_and_detached_runs_are_identical(self):
+        plain = run_elastic(_pe(seed=3), duration_s=1_000.0)
+        observed = run_elastic(
+            _pe(seed=3), duration_s=1_000.0, obs=ObservabilityHub()
+        )
+        assert plain.final_threads == observed.final_threads
+        assert plain.final_n_queues == observed.final_n_queues
+        assert (
+            plain.converged_throughput == observed.converged_throughput
+        )
+        assert plain.trace.observations == observed.trace.observations
+        assert plain.trace.thread_changes == observed.trace.thread_changes
+        assert (
+            plain.trace.placement_changes
+            == observed.trace.placement_changes
+        )

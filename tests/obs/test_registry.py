@@ -1,0 +1,104 @@
+"""Semantics of the metrics registry primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("c")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10, 100))
+        for v in (0.5, 1.0, 5, 10, 99, 1000):
+            h.observe(v)
+        # le semantics: a value lands in the first bucket whose bound
+        # is >= value; 1000 overflows into +Inf.
+        assert h.counts == (2, 2, 1, 1)
+        assert h.count == 6
+        assert h.sum == pytest.approx(0.5 + 1 + 5 + 10 + 99 + 1000)
+
+    def test_cumulative_counts(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10))
+        for v in (0.5, 5, 500):
+            h.observe(v)
+        assert h.cumulative() == (
+            (1.0, 1),
+            (10.0, 2),
+            (float("inf"), 3),
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+        with pytest.raises(ValueError):
+            reg.histogram("m")
+
+    def test_histogram_bounds_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1, 2))
+        assert reg.histogram("h", bounds=(1, 2)) is reg.get("h")
+        with pytest.raises(ValueError):
+            reg.histogram("h", bounds=(1, 2, 3))
+
+    def test_snapshot_is_sorted_and_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(2)
+        reg.histogram("c").observe(3)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+
+
+class TestNullObjects:
+    def test_null_registry_hands_out_shared_singletons(self):
+        assert NULL_REGISTRY.counter("anything") is NULL_COUNTER
+        assert NULL_REGISTRY.gauge("anything") is NULL_GAUGE
+        assert NULL_REGISTRY.histogram("anything") is NULL_HISTOGRAM
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_null_updates_are_noops(self):
+        NULL_COUNTER.inc(5)
+        NULL_GAUGE.set(1)
+        NULL_HISTOGRAM.observe(2)

@@ -29,6 +29,14 @@ class TestParser:
         assert args.payload == 1024
         assert args.machine == "xeon"
 
+    def test_trace_parses(self):
+        args = build_parser().parse_args(
+            ["trace", "fig06", "--format", "jsonl"]
+        )
+        assert args.command == "trace"
+        assert args.experiment == "fig06"
+        assert args.format == "jsonl"
+
 
 class TestCommands:
     def test_list_prints_experiments(self, capsys):
@@ -88,6 +96,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "threads" in out
         assert "re-settle" in out
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_jsonl_to_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace", "fig01",
+                "--cores", "8",
+                "--duration", "400",
+                "--format", "jsonl",
+                "--output", str(out_file),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out_file.read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records}
+        assert "decision" in kinds
+        assert "observation" in kinds
+
+    def test_trace_table_to_stdout(self, capsys):
+        code = main(
+            ["trace", "fig01", "--cores", "8", "--duration", "400"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rule" in out
+        assert "F7-INIT" in out
 
     def test_latency_profile(self, capsys):
         code = main(
