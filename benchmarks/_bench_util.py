@@ -8,9 +8,10 @@ so EXPERIMENTS.md can reference the measured numbers.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
-from typing import Callable, TypeVar
+from typing import Any, Callable, Dict, TypeVar
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -44,3 +45,16 @@ def record(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+
+
+def record_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+    """Persist a machine-readable result as benchmarks/results/<name>.json.
+
+    Used for artifacts tooling consumes across PRs (e.g.
+    ``BENCH_des.json``, the DES performance trajectory).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+    return path

@@ -36,6 +36,7 @@ from .harness import (
     oracle_sweep,
     run_multi_level,
 )
+from .parallel import run_cells
 
 MACHINES = {"xeon": xeon_176, "power8": power8_184}
 
@@ -81,6 +82,27 @@ class Fig01Result:
         return next(t for f, _n, t in self.sweep if f == 1.0)
 
 
+def _fig01_cell(
+    payload: int,
+    n_cores: int,
+    n_operators: int,
+    fractions: Tuple[float, ...],
+    seed: int,
+) -> Fig01Result:
+    graph = pipeline(n_operators, cost_flops=100.0, payload_bytes=payload)
+    machine = xeon_176().with_cores(n_cores)
+    sweep = oracle_sweep(graph, machine, fractions)
+    auto = run_multi_level(graph, machine, _config(machine, seed=seed))
+    return Fig01Result(
+        payload_bytes=payload,
+        cores=n_cores,
+        sweep=tuple(sweep),
+        auto_throughput=auto.throughput,
+        auto_fraction=auto.dynamic_ratio,
+        auto_threads=auto.threads,
+    )
+
+
 def fig01_motivation(
     payloads: Sequence[int] = (1, 1024),
     cores: Sequence[int] = (16, 88),
@@ -89,30 +111,19 @@ def fig01_motivation(
         0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0,
     ),
     seed: int = 0,
+    parallel: Optional[bool] = None,
 ) -> List[Fig01Result]:
-    """100-operator chain, 100 FLOPs/op: the motivating sweep."""
-    results = []
-    for payload in payloads:
-        for n_cores in cores:
-            graph = pipeline(
-                n_operators, cost_flops=100.0, payload_bytes=payload
-            )
-            machine = xeon_176().with_cores(n_cores)
-            sweep = oracle_sweep(graph, machine, fractions)
-            auto = run_multi_level(
-                graph, machine, _config(machine, seed=seed)
-            )
-            results.append(
-                Fig01Result(
-                    payload_bytes=payload,
-                    cores=n_cores,
-                    sweep=tuple(sweep),
-                    auto_throughput=auto.throughput,
-                    auto_fraction=auto.dynamic_ratio,
-                    auto_threads=auto.threads,
-                )
-            )
-    return results
+    """100-operator chain, 100 FLOPs/op: the motivating sweep.
+
+    Cells (one per payload x cores point) are independent and fan out
+    across a process pool (see :mod:`repro.bench.parallel`).
+    """
+    cells = [
+        (payload, n_cores, n_operators, tuple(fractions), seed)
+        for payload in payloads
+        for n_cores in cores
+    ]
+    return run_cells(_fig01_cell, cells, parallel=parallel)
 
 
 # ----------------------------------------------------------------------
@@ -175,32 +186,61 @@ def fig06_adaptation(
 # ----------------------------------------------------------------------
 # Figures 9-12 — benchmark graph comparisons
 # ----------------------------------------------------------------------
+def _fig09_cell(
+    machine_name: str,
+    distribution: CostDistribution,
+    n_ops: int,
+    payload: int,
+    seed: int,
+) -> Comparison:
+    machine = MACHINES[machine_name]()
+    graph = pipeline(n_ops, payload_bytes=payload)
+    graph = assign_costs(
+        graph, distribution, rng=np.random.default_rng(seed)
+    )
+    return compare(
+        graph,
+        machine,
+        _config(machine, seed=seed),
+        workload=f"pipe({n_ops}) {payload}B",
+    )
+
+
 def fig09_pipeline(
     machine_name: str = "xeon",
     distribution: Optional[CostDistribution] = None,
     operator_counts: Sequence[int] = (100, 500, 1000),
     payloads: Sequence[int] = (128, 1024, 16384),
     seed: int = 0,
+    parallel: Optional[bool] = None,
 ) -> List[Comparison]:
     """Pipeline graphs (Fig. 9): speedups over manual threading."""
     distribution = distribution or balanced(100.0)
+    cells = [
+        (machine_name, distribution, n_ops, payload, seed)
+        for n_ops in operator_counts
+        for payload in payloads
+    ]
+    return run_cells(_fig09_cell, cells, parallel=parallel)
+
+
+def _fig10_cell(
+    machine_name: str,
+    width: int,
+    payload: int,
+    cost_flops: float,
+    seed: int,
+) -> Comparison:
     machine = MACHINES[machine_name]()
-    comparisons = []
-    for n_ops in operator_counts:
-        for payload in payloads:
-            graph = pipeline(n_ops, payload_bytes=payload)
-            graph = assign_costs(
-                graph, distribution, rng=np.random.default_rng(seed)
-            )
-            comparisons.append(
-                compare(
-                    graph,
-                    machine,
-                    _config(machine, seed=seed),
-                    workload=f"pipe({n_ops}) {payload}B",
-                )
-            )
-    return comparisons
+    graph = data_parallel(
+        width, cost_flops=cost_flops, payload_bytes=payload
+    )
+    return compare(
+        graph,
+        machine,
+        _config(machine, seed=seed),
+        workload=f"dp({width}) {payload}B",
+    )
 
 
 def fig10_data_parallel(
@@ -209,24 +249,32 @@ def fig10_data_parallel(
     payloads: Sequence[int] = (128, 1024, 16384),
     cost_flops: float = 100.0,
     seed: int = 0,
+    parallel: Optional[bool] = None,
 ) -> List[Comparison]:
     """Pure data-parallel graphs (Fig. 10): sink-lock contention."""
+    cells = [
+        (machine_name, width, payload, cost_flops, seed)
+        for width in widths
+        for payload in payloads
+    ]
+    return run_cells(_fig10_cell, cells, parallel=parallel)
+
+
+def _fig11_cell(
+    machine_name: str,
+    width: int,
+    depth: int,
+    payload: int,
+    seed: int,
+) -> Comparison:
     machine = MACHINES[machine_name]()
-    comparisons = []
-    for width in widths:
-        for payload in payloads:
-            graph = data_parallel(
-                width, cost_flops=cost_flops, payload_bytes=payload
-            )
-            comparisons.append(
-                compare(
-                    graph,
-                    machine,
-                    _config(machine, seed=seed),
-                    workload=f"dp({width}) {payload}B",
-                )
-            )
-    return comparisons
+    graph = mixed(width, depth, payload_bytes=payload)
+    return compare(
+        graph,
+        machine,
+        _config(machine, seed=seed),
+        workload=f"mixed({width}x{depth}) {payload}B",
+    )
 
 
 def fig11_mixed(
@@ -235,22 +283,28 @@ def fig11_mixed(
     payloads: Sequence[int] = (128, 1024, 16384),
     width: int = 10,
     seed: int = 0,
+    parallel: Optional[bool] = None,
 ) -> List[Comparison]:
     """Mixed pipeline/data-parallel graphs (Fig. 11)."""
-    machine = MACHINES[machine_name]()
-    comparisons = []
-    for depth in depths:
-        for payload in payloads:
-            graph = mixed(width, depth, payload_bytes=payload)
-            comparisons.append(
-                compare(
-                    graph,
-                    machine,
-                    _config(machine, seed=seed),
-                    workload=f"mixed({width}x{depth}) {payload}B",
-                )
-            )
-    return comparisons
+    cells = [
+        (machine_name, width, depth, payload, seed)
+        for depth in depths
+        for payload in payloads
+    ]
+    return run_cells(_fig11_cell, cells, parallel=parallel)
+
+
+def _fig12_cell(
+    n_cores: int, cost: float, payload_bytes: int, seed: int
+) -> Comparison:
+    machine = xeon_176().with_cores(n_cores)
+    graph = bushy_82(cost_flops=cost, payload_bytes=payload_bytes)
+    return compare(
+        graph,
+        machine,
+        _config(machine, seed=seed),
+        workload=f"bushy82 {n_cores}c {cost:g}F",
+    )
 
 
 def fig12_bushy(
@@ -258,24 +312,15 @@ def fig12_bushy(
     costs: Sequence[float] = (1.0, 100.0, 10_000.0),
     payload_bytes: int = 1024,
     seed: int = 0,
+    parallel: Optional[bool] = None,
 ) -> List[Comparison]:
     """Bushy graphs (Fig. 12): 82 operators, varying cores and cost."""
-    comparisons = []
-    for n_cores in cores:
-        machine = xeon_176().with_cores(n_cores)
-        for cost in costs:
-            graph = bushy_82(
-                cost_flops=cost, payload_bytes=payload_bytes
-            )
-            comparisons.append(
-                compare(
-                    graph,
-                    machine,
-                    _config(machine, seed=seed),
-                    workload=f"bushy82 {n_cores}c {cost:g}F",
-                )
-            )
-    return comparisons
+    cells = [
+        (n_cores, cost, payload_bytes, seed)
+        for n_cores in cores
+        for cost in costs
+    ]
+    return run_cells(_fig12_cell, cells, parallel=parallel)
 
 
 # ----------------------------------------------------------------------

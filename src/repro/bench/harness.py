@@ -19,6 +19,7 @@ the converged throughput to other baselines".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,9 @@ class Comparison:
     dynamic: BaselineResult
     multi_level: BaselineResult
     hand_optimized: Optional[BaselineResult] = None
+    # Wall-clock seconds spent computing this comparison (all
+    # strategies), for the perf-tracking artifacts (BENCH_des.json).
+    wall_s: float = 0.0
 
     @property
     def dynamic_speedup(self) -> float:
@@ -201,6 +205,7 @@ def compare(
     obs: Optional[Obs] = None,
 ) -> Comparison:
     """Run every strategy on one workload."""
+    t0 = time.perf_counter()
     config = config or RuntimeConfig(cores=machine.logical_cores)
     manual = run_manual(graph, machine)
     dynamic = run_dynamic_only(graph, machine, config, obs=obs)
@@ -214,6 +219,7 @@ def compare(
         dynamic=dynamic,
         multi_level=multi,
         hand_optimized=hand_result,
+        wall_s=time.perf_counter() - t0,
     )
 
 

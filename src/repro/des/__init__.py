@@ -5,6 +5,7 @@ from .engine import DesEngine, DesResult, measure_throughput
 from .kernel import (
     Acquire,
     Get,
+    ParkUntilNonEmpty,
     Put,
     Release,
     Request,
@@ -22,6 +23,7 @@ __all__ = [
     "measure_throughput",
     "Acquire",
     "Get",
+    "ParkUntilNonEmpty",
     "Put",
     "Release",
     "Request",

@@ -23,14 +23,29 @@ Execution semantics (mirroring §2.1):
 - cores are a token pool: at most ``machine.logical_cores`` threads make
   progress at once.
 
+A scheduler thread whose scan finds every queue empty **parks** on the
+queue set (§2.1: "real runtimes park such threads") and is woken by the
+next push — one thread per pushed tuple, FIFO in park order — so an
+idle thread costs O(1) simulator events per idle episode rather than a
+polling event every backoff interval.  Only the transient case "work
+exists but another thread holds that region's port" still backs off on
+a short timeout.
+
 Fractional selectivities are handled in expectation: per entry tuple a
 region charges ``rate/entry_rate`` executions of each member operator,
 and accumulates fractional push credits, emitting whole tuples as the
 credit crosses one.
+
+Performance notes (see ``docs/PERFORMANCE.md``): hot process bodies
+yield bare floats instead of ``Timeout`` dataclasses, and consecutive
+operator timeouts between lock/queue boundaries coalesce into a single
+event unless a profiler is attached (snapshot profiling needs one event
+per operator so samples land *inside* operators).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
@@ -43,17 +58,63 @@ from ..runtime.threads import SnapshotProfiler, ThreadRegistry
 from .kernel import (
     Acquire,
     Get,
+    ParkUntilNonEmpty,
     Put,
-    Release,
-    Request,
     SimLock,
     SimQueue,
     Simulator,
-    Timeout,
 )
 
 _TOKEN = object()
+# Backoff used only while a non-empty queue's region is being executed
+# by another thread (transient); empty-queue idling parks instead.
 _IDLE_BACKOFF_S = 2.0e-6
+# Claims a thread may execute per core acquisition before offering the
+# core back to waiters.  An OS timeslices contending threads at a much
+# coarser granularity than one scheduler claim (~1 µs of simulated
+# work), so rotating the core once per claim would both distort the
+# model toward implausibly fine sharing and cost a simulator handoff
+# event per claim.  Fairness over a measurement window is preserved:
+# a slice is ~tens of simulated µs, far below the millisecond windows.
+_CORE_SLICE = 32
+# Tuples a scheduler thread may drain from a claimed port in one go
+# (real runtimes drain bursts to amortize work-finding).  Each tuple
+# still pays the full per-tuple cost (scan + pop sync + work + push),
+# so simulated time is identical to draining one at a time; batching
+# only coalesces the simulator events.
+_CLAIM_BATCH = 8
+
+# Processes may yield kernel Request objects or bare float delays.
+_Req = Generator[object, object, None]
+
+
+@dataclass(frozen=True)
+class _RegionPlan:
+    """Precomputed per-region execution constants.
+
+    Everything about executing one entry tuple of a region that does
+    not depend on simulation state — per-operator time deltas, lock
+    objects, sink credit, push costs — is computed once at engine
+    construction so the per-tuple generator only walks plain tuples.
+
+    ``ops`` rows are ``(op_idx, dt, lock, sink_n)``; ``pushes`` rows
+    are ``(queue, credit_key, credit_incr, cost_per_push)``.
+
+    A region is ``fast`` when executing one entry tuple needs no
+    per-operator bookkeeping at all: no member operator takes a lock
+    and it emits at most one downstream tuple per entry tuple (unit
+    selectivity, single push target).  Such a region collapses to a
+    single precomputed time delta (``flat_dt``), an optional
+    synchronous push (``push`` is ``(queue, queue_op, cost)``) and a
+    sink-credit constant — one simulator event per executed tuple.
+    """
+
+    ops: Tuple[Tuple[int, float, Optional[SimLock], float], ...]
+    pushes: Tuple[Tuple[SimQueue, Tuple[int, int], float, float], ...]
+    fast: bool
+    flat_dt: float
+    sink_total: float
+    push: Optional[Tuple[SimQueue, int, float]]
 
 
 @dataclass(frozen=True)
@@ -66,6 +127,7 @@ class DesResult:
     sink_tuples: float
     queue_occupancy: Tuple[Tuple[int, int], ...]
     thread_busy_fraction: Tuple[Tuple[str, float], ...] = ()
+    deadlocked: bool = False
 
     @property
     def mean_utilization(self) -> float:
@@ -128,6 +190,10 @@ class DesEngine:
         self._region_by_entry: Dict[int, Region] = {
             r.entry: r for r in self.decomposition.regions
         }
+        self._plans: Dict[int, _RegionPlan] = {
+            r.entry: self._build_plan(r)
+            for r in self.decomposition.regions
+        }
         # The paper's per-thread state variable: threads publish the
         # operator they are executing; a profiler process may snapshot.
         self.registry = ThreadRegistry()
@@ -156,71 +222,152 @@ class DesEngine:
             "des.backpressure_helps",
             "consumer regions executed inline by a blocked producer",
         )
+        self._m_parked = hub.registry.gauge(
+            "des.parked_threads",
+            "scheduler threads currently parked on empty queues",
+        )
+        self._m_wakeups = hub.registry.counter(
+            "des.wakeups",
+            "parked scheduler threads woken by queue activity",
+        )
 
     # ------------------------------------------------------------------
     # process bodies
     # ------------------------------------------------------------------
-    def _region_work(
-        self,
-        region: Region,
-        count_source: bool,
-        thread_name: str = "?",
-    ) -> Generator[Request, object, None]:
-        """Execute one entry tuple's worth of a region."""
+    def _build_plan(self, region: Region) -> _RegionPlan:
+        """Precompute the per-tuple execution constants of a region."""
         machine = self.machine
         graph = self.graph
-
-        def busy(dt: float) -> float:
-            self._busy_s[thread_name] = (
-                self._busy_s.get(thread_name, 0.0) + dt
-            )
-            return dt
         scale = 1.0 / region.entry_rate if region.entry_rate > 0 else 0.0
+        ops = []
         for op_idx, rate in region.op_rates:
             n = rate * scale
             if n <= 0.0:
                 continue
-            self.registry.set_current(thread_name, op_idx)
             op = graph.operator(op_idx)
             dt = n * (
                 machine.flop_time(op.cost_flops)
                 + machine.call_overhead_s
                 + machine.submit_overhead_s * op.selectivity
             )
-            lock = self._op_locks.get(op_idx)
+            ops.append(
+                (
+                    op_idx,
+                    dt,
+                    self._op_locks.get(op_idx),
+                    n if op.is_sink else 0.0,
+                )
+            )
+        push_cost = (
+            machine.copy_time(graph.tuple_spec.payload_bytes)
+            + machine.lock_uncontended_s
+        )
+        pushes = tuple(
+            (
+                self._queues[queue_op],
+                (region.entry, queue_op),
+                push_rate * scale,
+                push_cost,
+            )
+            for queue_op, push_rate in region.push_rates
+        )
+        ops_t = tuple(ops)
+        fast = all(lock is None for _i, _dt, lock, _s in ops_t) and (
+            not pushes or (len(pushes) == 1 and pushes[0][2] == 1.0)
+        )
+        return _RegionPlan(
+            ops=ops_t,
+            pushes=pushes,
+            fast=fast,
+            flat_dt=sum(dt for _i, dt, _l, _s in ops_t),
+            sink_total=sum(s for _i, _dt, _l, s in ops_t),
+            push=(
+                (pushes[0][0], pushes[0][1][1], pushes[0][3])
+                if fast and pushes
+                else None
+            ),
+        )
+
+    def _region_work(
+        self,
+        region: Region,
+        count_source: bool,
+        thread_name: str = "?",
+        pending: float = 0.0,
+    ) -> _Req:
+        """Execute one entry tuple's worth of a region.
+
+        Consecutive operator timeouts accumulate into ``pending`` and
+        flush as one event at lock/queue boundaries (or at the end),
+        unless a profiler is attached — snapshot profiling needs time
+        to advance per operator so samples attribute correctly.
+        Callers may seed ``pending`` with a delay of their own (e.g.
+        the scheduler's pop synchronization cost) to merge it into the
+        region's first timeout.
+        """
+        plan = self._plans[region.entry]
+        sim = self.sim
+        busy_s = self._busy_s
+        fine_grained = self.profiler is not None
+        registry = self.registry if fine_grained else None
+        lock_s = self.machine.lock_uncontended_s
+        for op_idx, dt, lock, sink_n in plan.ops:
+            if registry is not None:
+                registry.set_current(thread_name, op_idx)
             if lock is not None:
-                yield Acquire(lock)
-                yield Timeout(busy(dt + machine.lock_uncontended_s))
-                yield Release(lock)
+                if pending:
+                    busy_s[thread_name] = (
+                        busy_s.get(thread_name, 0.0) + pending
+                    )
+                    yield pending
+                    pending = 0.0
+                if not sim.acquire_nowait(lock):
+                    yield Acquire(lock)
+                dt += lock_s
+                busy_s[thread_name] = busy_s.get(thread_name, 0.0) + dt
+                yield dt
+                sim.release_nowait(lock)
             else:
-                yield Timeout(busy(dt))
-            if op.is_sink:
-                self._sink_count += n
-                self._m_sink.inc(n)
+                pending += dt
+                if fine_grained:
+                    busy_s[thread_name] = (
+                        busy_s.get(thread_name, 0.0) + pending
+                    )
+                    yield pending
+                    pending = 0.0
+            if sink_n:
+                self._sink_count += sink_n
+                self._m_sink.inc(sink_n)
         if count_source:
             self._source_count += 1.0
             self._m_source.inc()
-        self.registry.set_current(thread_name, None)
-        for queue_op, push_rate in region.push_rates:
-            credit_key = (region.entry, queue_op)
-            credit = self._push_credit.get(credit_key, 0.0) + push_rate * scale
-            queue = self._queues[queue_op]
+        if registry is not None:
+            registry.set_current(thread_name, None)
+        push_credit = self._push_credit
+        for queue, credit_key, credit_incr, push_cost in plan.pushes:
+            credit = push_credit.get(credit_key, 0.0) + credit_incr
             while credit >= 1.0:
-                yield Timeout(
-                    busy(
-                        machine.copy_time(graph.tuple_spec.payload_bytes)
-                        + machine.lock_uncontended_s
+                pending += push_cost
+                busy_s[thread_name] = (
+                    busy_s.get(thread_name, 0.0) + pending
+                )
+                yield pending
+                pending = 0.0
+                if self.sim.put_nowait(queue, _TOKEN):
+                    self._m_pushes.inc()
+                else:
+                    yield from self._push_with_help(
+                        credit_key[1], queue, thread_name
                     )
-                )
-                yield from self._push_with_help(
-                    queue_op, queue, thread_name
-                )
                 credit -= 1.0
-            self._push_credit[credit_key] = credit
+            push_credit[credit_key] = credit
+        if pending:
+            busy_s[thread_name] = busy_s.get(thread_name, 0.0) + pending
+            yield pending
 
     def _push_with_help(
         self, queue_op: int, queue: SimQueue, thread_name: str = "?"
-    ) -> Generator[Request, object, None]:
+    ) -> _Req:
         """Push one tuple, executing the consumer inline on backpressure.
 
         If every producer simply blocked on a full queue while holding a
@@ -236,98 +383,233 @@ class DesEngine:
         can run between our check and the corresponding Put.
         """
         consumer = self._region_by_entry[queue_op]
+        sim = self.sim
         while queue.is_full:
             port = self._region_locks[queue_op]
-            yield Acquire(port)
+            if not sim.acquire_nowait(port):
+                yield Acquire(port)
             if queue.is_empty:
                 # Another thread drained it while we waited.
-                yield Release(port)
+                sim.release_nowait(port)
                 break
-            self.sim.pop_nowait(queue)
+            sim.pop_nowait(queue)
             self._m_helps.inc()
-            yield Timeout(self.machine.lock_uncontended_s)
             yield from self._region_work(
-                consumer, count_source=False, thread_name=thread_name
+                consumer,
+                count_source=False,
+                thread_name=thread_name,
+                pending=self.machine.lock_uncontended_s,
             )
-            yield Release(port)
+            sim.release_nowait(port)
         self._m_pushes.inc()
-        yield Put(queue, _TOKEN)
+        if not self.sim.put_nowait(queue, _TOKEN):
+            yield Put(queue, _TOKEN)  # pragma: no cover - defensive
 
-    def _source_thread(self, region: Region) -> Generator[Request, object, None]:
+    def _source_thread(self, region: Region) -> _Req:
         source_op = self.graph.operator(region.entry)
+        sim = self.sim
+        name = f"src:{region.entry}"
+        core_pool = self._core_pool
+        busy_s = self._busy_s
+        plan = self._plans[region.entry]
         min_interval = (
             1.0 / source_op.max_rate
             if source_op.max_rate is not None
             else 0.0
         )
-        next_emit = self.sim.now
+        next_emit = sim.now
+        slice_left = 0
         while True:
             if min_interval:
                 # External arrival pacing (e.g. NIC line rate): wait
                 # until the next tuple is due before competing for a
                 # core.
-                wait = next_emit - self.sim.now
+                wait = next_emit - sim.now
                 if wait > 0:
-                    yield Timeout(wait)
-                next_emit = max(next_emit + min_interval,
-                                self.sim.now)
-            yield Get(self._core_pool)
-            yield from self._region_work(
-                region,
-                count_source=True,
-                thread_name=f"src:{region.entry}",
-            )
-            yield Put(self._core_pool, _TOKEN)
+                    if slice_left > 0:
+                        # Never hold a core across an idle wait.
+                        slice_left = 0
+                        sim.put_nowait(core_pool, _TOKEN)
+                    yield wait
+                next_emit = max(next_emit + min_interval, sim.now)
+            if slice_left <= 0:
+                if core_pool.items:
+                    # Inlined pop_nowait (no putters/parked on cores).
+                    core_pool.items.popleft()
+                    core_pool.total_got += 1
+                else:
+                    yield Get(core_pool)
+                slice_left = _CORE_SLICE
+            if plan.fast and self.profiler is None:
+                # One event per emitted burst: operator work and push
+                # copies advance together, then the enqueues happen
+                # synchronously.  A paced source emits one tuple per
+                # due time; an unpaced one emits a burst per event.
+                b = 1 if min_interval else min(_CLAIM_BATCH, slice_left)
+                slice_left -= b
+                dt = b * plan.flat_dt
+                push = plan.push
+                if push is not None:
+                    queue, queue_op, push_cost = push
+                    dt += b * push_cost
+                    busy_s[name] = busy_s.get(name, 0.0) + dt
+                    yield dt
+                    for _ in range(b):
+                        if sim.put_nowait(queue, _TOKEN):
+                            self._m_pushes.inc()
+                        else:
+                            yield from self._push_with_help(
+                                queue_op, queue, name
+                            )
+                elif dt:
+                    busy_s[name] = busy_s.get(name, 0.0) + dt
+                    yield dt
+                if plan.sink_total:
+                    self._sink_count += plan.sink_total * b
+                    self._m_sink.inc(plan.sink_total * b)
+                self._source_count += b
+                self._m_source.inc(b)
+            else:
+                slice_left -= 1
+                yield from self._region_work(
+                    region, count_source=True, thread_name=name
+                )
+            if slice_left <= 0:
+                # As in _scheduler_thread: rotate the core only when
+                # someone is waiting for it.
+                if core_pool.getters:
+                    sim.put_nowait(core_pool, _TOKEN)
+                else:
+                    slice_left = _CORE_SLICE
 
-    def _scheduler_thread(
-        self, thread_id: int
-    ) -> Generator[Request, object, None]:
-        cursor = thread_id  # stagger round-robin start positions
+    def _scheduler_thread(self, thread_id: int) -> _Req:
         name = f"sched:{thread_id}"
-        n = len(self._queue_order)
+        sim = self.sim
+        order = self._queue_order
+        queues = self._queues
+        core_pool = self._core_pool
+        busy_s = self._busy_s
+        n = len(order)
+        scan = self.machine.scan_time(n)
+        lock_s = self.machine.lock_uncontended_s
+        fast_ok = self.profiler is None
+        # Scan probes resolved once to (queue, port, region, plan)
+        # rows; the doubled list turns a rotated scan into straight
+        # indexing with no per-probe dict lookups or modulo.
+        slots = [
+            (
+                queues[idx],
+                self._region_locks[idx],
+                self._region_by_entry[idx],
+                self._plans[idx],
+            )
+            for idx in order
+        ]
+        slots2 = slots + slots
+        # One immutable park request, reused forever: the idle path
+        # allocates nothing.
+        park = ParkUntilNonEmpty(tuple(queues[idx] for idx in order))
+        cursor = thread_id % n  # stagger round-robin start positions
+        slice_left = 0
         while True:
-            yield Get(self._core_pool)
-            # The scan costs simulated time either way, but only a scan
-            # that finds work counts toward the thread's *busy* time --
-            # a starving thread polling empty queues is idle for
-            # utilization purposes (real runtimes park such threads).
-            scan = self.machine.scan_time(n)
-            yield Timeout(scan)
-            found: Optional[int] = None
-            for i in range(n):
-                candidate = self._queue_order[(cursor + i) % n]
-                if (
-                    not self._queues[candidate].is_empty
-                    and self._region_locks[candidate].held_by is None
-                ):
-                    # Non-empty and nobody executing its region: claim.
-                    found = candidate
-                    cursor = (cursor + i + 1) % n
-                    break
-            if found is None:
+            if slice_left <= 0:
+                if core_pool.items:
+                    # Inlined pop_nowait: the core pool never has
+                    # blocked putters or parked consumers.
+                    core_pool.items.popleft()
+                    core_pool.total_got += 1
+                else:
+                    yield Get(core_pool)
+                slice_left = _CORE_SLICE
+            claim = None
+            executing_elsewhere = False
+            for pos in range(n):
+                row = slots2[cursor + pos]
+                if row[0].items:
+                    if row[1].held_by is None:
+                        # Non-empty, nobody executing its region: claim.
+                        claim = row
+                        cursor = (cursor + pos + 1) % n
+                        break
+                    executing_elsewhere = True
+            if claim is None:
                 self._m_idle.inc()
-                yield Put(self._core_pool, _TOKEN)
-                yield Timeout(_IDLE_BACKOFF_S)
+                # An idle thread surrenders the rest of its timeslice.
+                slice_left = 0
+                sim.put_nowait(core_pool, _TOKEN)
+                if executing_elsewhere:
+                    # Work exists but its port is held: the executing
+                    # thread will rescan when done; retry shortly.
+                    # (Parking here could livelock: the kernel would
+                    # wake us immediately on the non-empty queue.)
+                    # The failed scan's cost folds into the backoff.
+                    yield scan + _IDLE_BACKOFF_S
+                else:
+                    # Every queue empty: park until the next push.
+                    self._m_parked.inc()
+                    yield park
+                    self._m_parked.dec()
+                    self._m_wakeups.inc()
                 continue
-            port = self._region_locks[found]
-            yield Acquire(port)
-            if self._queues[found].is_empty:
-                yield Release(port)
-                yield Put(self._core_pool, _TOKEN)
-                continue
-            self.sim.pop_nowait(self._queues[found])
-            self._busy_s[name] = (
-                self._busy_s.get(name, 0.0)
-                + scan
-                + self.machine.lock_uncontended_s
-            )
-            yield Timeout(self.machine.lock_uncontended_s)
-            region = self._region_by_entry[found]
-            yield from self._region_work(
-                region, count_source=False, thread_name=name
-            )
-            yield Release(port)
-            yield Put(self._core_pool, _TOKEN)
+            # The scan checked the port synchronously, so the claim
+            # cannot fail and nothing has to yield: take port and
+            # tuple immediately.  The scan's cost (charged as busy --
+            # a scan that found work is work-finding, not starvation)
+            # merges into the region's first time advance.
+            queue, port, region, plan = claim
+            sim.acquire_nowait(port)
+            sim.pop_nowait(queue)
+            if fast_ok and plan.fast:
+                # Whole-claim fast path: scan + pop sync + operator
+                # work + push copy advance as ONE simulator event,
+                # then the downstream enqueue happens synchronously.
+                # The thread drains a burst while it holds the port
+                # (each tuple pays the full per-tuple cost).
+                k = len(queue.items) + 1
+                if k > _CLAIM_BATCH:
+                    k = _CLAIM_BATCH
+                if k > slice_left:
+                    k = slice_left
+                for _ in range(k - 1):
+                    sim.pop_nowait(queue)
+                slice_left -= k
+                dt = k * (scan + lock_s + plan.flat_dt)
+                push = plan.push
+                if push is not None:
+                    pqueue, pqueue_op, push_cost = push
+                    dt += k * push_cost
+                    busy_s[name] = busy_s.get(name, 0.0) + dt
+                    yield dt
+                    for _ in range(k):
+                        if sim.put_nowait(pqueue, _TOKEN):
+                            self._m_pushes.inc()
+                        else:
+                            yield from self._push_with_help(
+                                pqueue_op, pqueue, name
+                            )
+                else:
+                    busy_s[name] = busy_s.get(name, 0.0) + dt
+                    yield dt
+                if plan.sink_total:
+                    self._sink_count += plan.sink_total * k
+                    self._m_sink.inc(plan.sink_total * k)
+            else:
+                slice_left -= 1
+                yield from self._region_work(
+                    region,
+                    count_source=False,
+                    thread_name=name,
+                    pending=scan + lock_s,
+                )
+            sim.release_nowait(port)
+            if slice_left <= 0:
+                # Timeslice expired: hand the core to a waiter; with
+                # nobody waiting, keep it for another slice with no
+                # handoff event at all.
+                if core_pool.getters:
+                    sim.put_nowait(core_pool, _TOKEN)
+                else:
+                    slice_left = _CORE_SLICE
 
     # ------------------------------------------------------------------
     def attach_profiler(
@@ -337,7 +619,9 @@ class DesEngine:
         every registered thread's current operator each ``period_s``.
 
         Must be called before :meth:`start`.  Returns the profiler whose
-        counters accumulate for the run's lifetime.
+        counters accumulate for the run's lifetime.  Attaching also
+        switches region execution to fine-grained (per-operator) time
+        advancement so samples land inside individual operators.
         """
         if self._started:
             raise RuntimeError("attach_profiler must precede start()")
@@ -347,7 +631,7 @@ class DesEngine:
 
         def profiler_proc():
             while True:
-                yield Timeout(period_s)
+                yield period_s
                 self.profiler.sample()
 
         self._profiler_period = period_s
@@ -378,7 +662,13 @@ class DesEngine:
     def run(
         self, warmup_s: float = 0.002, measure_s: float = 0.01
     ) -> DesResult:
-        """Warm up, then measure throughput over ``measure_s``."""
+        """Warm up, then measure throughput over ``measure_s``.
+
+        If every process wedges (all blocked with no pending event —
+        see :meth:`Simulator.run_until`), the returned result carries
+        ``deadlocked=True`` instead of silently reporting a deflated
+        throughput over a window in which nothing ran.
+        """
         if not self._started:
             self.start()
         self.sim.run_until(self.sim.now + warmup_s)
@@ -405,6 +695,7 @@ class DesEngine:
             sink_tuples=self._sink_count,
             queue_occupancy=occupancy,
             thread_busy_fraction=busy,
+            deadlocked=self.sim.deadlocked,
         )
 
 
@@ -418,7 +709,12 @@ def measure_throughput(
     queue_capacity: int = 16,
     obs: Optional[Obs] = None,
 ) -> DesResult:
-    """Convenience wrapper: build, run and measure one configuration."""
+    """Convenience wrapper: build, run and measure one configuration.
+
+    Warns (``RuntimeWarning``) when the run wedged — every process
+    blocked with no pending event — because the throughput measured
+    over such a window is an artifact, not a measurement.
+    """
     engine = DesEngine(
         graph,
         machine,
@@ -427,4 +723,13 @@ def measure_throughput(
         queue_capacity=queue_capacity,
         obs=obs,
     )
-    return engine.run(warmup_s=warmup_s, measure_s=measure_s)
+    result = engine.run(warmup_s=warmup_s, measure_s=measure_s)
+    if result.deadlocked:
+        stuck = ", ".join(engine.sim.deadlock_tasks)
+        warnings.warn(
+            f"DES run of {graph.name!r} wedged: all tasks blocked "
+            f"({stuck}); the measured throughput is not meaningful",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return result

@@ -4,29 +4,42 @@ Implements the minimal process-interaction style needed by the PE
 engine (:mod:`repro.des.engine`): processes are Python generators that
 yield *requests* to the simulator —
 
-- :class:`Timeout` — advance this process by a simulated delay,
+- a bare ``float`` (or :class:`Timeout`) — advance this process by a
+  simulated delay,
 - :class:`Get` / :class:`Put` — blocking pop/push on a bounded
   :class:`SimQueue` (the scheduler queues),
 - :class:`Acquire` / :class:`Release` — FIFO mutual exclusion on a
-  :class:`SimLock` (operator-internal locks, core slots).
+  :class:`SimLock` (operator-internal locks, core slots),
+- :class:`ParkUntilNonEmpty` — suspend until one of a set of queues
+  receives an item (event-driven idle parking for scheduler threads).
 
 The kernel is deterministic: events at equal timestamps are ordered by
 insertion sequence.  No wall-clock access anywhere.
+
+Fast path
+---------
+The event heap stores ``(time, seq, task, value)`` tuples directly, so
+scheduling a resumption allocates no closure, and dispatch in
+:meth:`Simulator._advance` is a type-keyed jump (with the timeout case
+— by far the most frequent — inlined as a bare-``float`` check before
+any request-object handling).  Hot process bodies should ``yield dt``
+rather than ``yield Timeout(dt)`` to skip the per-event dataclass
+allocation; both spellings have identical semantics.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Deque, Generator, List, Optional, Tuple
 from collections import deque
 
 Process = Generator["Request", Any, None]
 
 
 class Request:
-    """Base class of everything a process may yield."""
+    """Base class of everything a process may yield (floats also work)."""
 
 
 @dataclass(frozen=True)
@@ -59,6 +72,29 @@ class Release(Request):
     lock: "SimLock"
 
 
+@dataclass(frozen=True)
+class ParkUntilNonEmpty(Request):
+    """Park the yielding task until any of ``queues`` receives an item.
+
+    Semantics:
+
+    - if any queue already holds items when the request is handled, the
+      task is resumed immediately (no wakeup can be lost between a scan
+      and the park, because the kernel handles requests synchronously);
+    - otherwise the task joins each queue's park set and is woken by
+      the next :class:`Put` that lands an item in one of them; wakeups
+      are FIFO in park order, one task per enqueued item, which
+      staggers a pool of parked scheduler threads round-robin instead
+      of thundering all of them.
+
+    The request is immutable and holds no per-use state, so callers
+    should construct it **once** and re-yield the same instance — the
+    idle path then allocates nothing.
+    """
+
+    queues: Tuple["SimQueue", ...]
+
+
 class SimQueue:
     """Bounded FIFO queue with blocking put/get.
 
@@ -75,6 +111,7 @@ class SimQueue:
         self.items: Deque[Any] = deque()
         self.getters: Deque["_Task"] = deque()
         self.putters: Deque[Tuple["_Task", Any]] = deque()
+        self.parked: Deque["_Task"] = deque()
         self.total_put = 0
         self.total_got = 0
 
@@ -107,6 +144,11 @@ class _Task:
     process: Process
     name: str
     alive: bool = True
+    # Queues whose park set currently contains this task (None when
+    # the task is runnable or blocked on something else).
+    parked_on: Optional[Tuple["SimQueue", ...]] = field(
+        default=None, repr=False
+    )
 
 
 class Simulator:
@@ -114,28 +156,65 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        # Heap entries carry the resumption inline: (time, seq, task,
+        # send_value).  seq is unique, so task/value never compare.
+        self._heap: List[Tuple[float, int, _Task, Any]] = []
         self._seq = itertools.count()
         self._tasks: List[_Task] = []
+        self.events_processed = 0
+        self.deadlocked = False
+        self.deadlock_tasks: Tuple[str, ...] = ()
+        self._current: Optional[_Task] = None
+        self._handlers = {
+            Timeout: self._handle_timeout,
+            Get: self._handle_get_req,
+            Put: self._handle_put_req,
+            Acquire: self._handle_acquire_req,
+            Release: self._handle_release_req,
+            ParkUntilNonEmpty: self._handle_park_req,
+        }
 
     # ------------------------------------------------------------------
     def spawn(self, process: Process, name: str = "proc") -> _Task:
         """Register a generator process; it starts at the current time."""
         task = _Task(process=process, name=name)
         self._tasks.append(task)
-        self._schedule(0.0, lambda: self._advance(task, None))
+        heapq.heappush(self._heap, (self.now, next(self._seq), task, None))
         return task
 
-    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+    def _schedule_task(
+        self, delay: float, task: _Task, value: Any = None
+    ) -> None:
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._seq), task, value)
+        )
 
     # ------------------------------------------------------------------
     def run_until(self, t_end: float) -> None:
-        """Process events until simulated time reaches ``t_end``."""
-        while self._heap and self._heap[0][0] <= t_end:
-            time, _seq, fn = heapq.heappop(self._heap)
+        """Process events until simulated time reaches ``t_end``.
+
+        If the heap drains while live tasks remain (all of them blocked
+        on queues, locks or parked — with no pending event that could
+        ever unblock them), the run is **wedged**: ``deadlocked`` is
+        latched and ``deadlock_tasks`` names the stuck processes, so a
+        caller measuring throughput over the window can tell "nothing
+        ran" apart from "ran and produced nothing".
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        advance = self._advance
+        n = 0
+        while heap and heap[0][0] <= t_end:
+            time, _seq, task, value = pop(heap)
             self.now = time
-            fn()
+            advance(task, value)
+            n += 1
+        self.events_processed += n
+        if not heap:
+            stuck = tuple(t.name for t in self._tasks if t.alive)
+            if stuck:
+                self.deadlocked = True
+                self.deadlock_tasks = stuck
         self.now = max(self.now, t_end)
 
     @property
@@ -157,33 +236,217 @@ class Simulator:
         self._unblock_putter(queue)
         return item
 
+    def put_nowait(self, queue: SimQueue, item: Any) -> bool:
+        """Deliver ``item`` without yielding; ``False`` when full.
+
+        Identical to a non-blocking :class:`Put`: hands off to a
+        waiting getter, else appends and wakes a parked task.  Because
+        the kernel runs one event at a time, the caller's prior
+        fullness check is still valid when this executes.
+        """
+        if queue.getters:
+            getter = queue.getters.popleft()
+            queue.total_put += 1
+            queue.total_got += 1
+            self._schedule_task(0.0, getter, item)
+            return True
+        if len(queue.items) < queue.capacity:
+            queue.items.append(item)
+            queue.total_put += 1
+            if queue.parked:
+                self._wake_parked(queue)
+            return True
+        return False
+
+    def acquire_nowait(self, lock: SimLock) -> bool:
+        """Take ``lock`` for the currently running task if it is free.
+
+        Returns ``False`` (without queueing as a waiter) when held.
+        """
+        if lock.held_by is None:
+            lock.held_by = self._current
+            lock.acquisitions += 1
+            return True
+        return False
+
+    def release_nowait(self, lock: SimLock) -> None:
+        """Release ``lock`` held by the currently running task.
+
+        FIFO hand-off: the longest-waiting :class:`Acquire` (if any)
+        becomes the holder and is scheduled to resume.
+        """
+        if lock.held_by is not self._current:
+            name = self._current.name if self._current else "<none>"
+            raise RuntimeError(
+                f"{name} released {lock.name} it does not hold"
+            )
+        if lock.waiters:
+            nxt = lock.waiters.popleft()
+            lock.held_by = nxt
+            lock.acquisitions += 1
+            self._schedule_task(0.0, nxt, None)
+        else:
+            lock.held_by = None
+
     # ------------------------------------------------------------------
     # process advancement
     # ------------------------------------------------------------------
     def _advance(self, task: _Task, value: Any) -> None:
-        """Resume ``task`` with ``value``, handle its next request."""
+        """Resume ``task`` with ``value`` and run it to its next *wait*.
+
+        This is a trampoline: a request that does not block (a Get on a
+        non-empty queue, a Put into free capacity, an uncontended
+        Acquire, any Release) is satisfied synchronously and the task
+        is resumed immediately, without a round-trip through the event
+        heap.  Only timeouts and genuinely blocking requests suspend
+        the task.  Semantically this is the old behaviour with the
+        zero-delay self-resumption events elided; processes woken *by*
+        this task (a getter handed an item, a lock passed to a waiter)
+        still go through the heap, preserving FIFO fairness and
+        deterministic ordering.
+        """
         if not task.alive:
             return
-        try:
-            request = task.process.send(value)
-        except StopIteration:
-            task.alive = False
-            return
-        self._handle(task, request)
+        self._current = task
+        heap = self._heap
+        seq = self._seq
+        now = self.now
+        push = heapq.heappush
+        send = task.process.send
+        while True:
+            try:
+                request = send(value)
+            except StopIteration:
+                task.alive = False
+                return
+            cls = request.__class__
+            # Hot path: bare numeric timeout — no request object at all.
+            if cls is float or cls is int:
+                if request < 0:
+                    raise ValueError(
+                        f"negative timeout {request} from {task.name}"
+                    )
+                push(heap, (now + request, next(seq), task, None))
+                return
+            if cls is Timeout:
+                push(heap, (now + request.delay, next(seq), task, None))
+                return
+            if cls is Get:
+                queue = request.queue
+                if queue.items:
+                    value = queue.items.popleft()
+                    queue.total_got += 1
+                    if queue.putters:
+                        self._unblock_putter(queue)
+                    continue
+                queue.getters.append(task)
+                return
+            if cls is Put:
+                queue = request.queue
+                if queue.getters:
+                    getter = queue.getters.popleft()
+                    queue.total_put += 1
+                    queue.total_got += 1
+                    push(heap, (now, next(seq), getter, request.item))
+                    value = None
+                    continue
+                if len(queue.items) < queue.capacity:
+                    queue.items.append(request.item)
+                    queue.total_put += 1
+                    if queue.parked:
+                        self._wake_parked(queue)
+                    value = None
+                    continue
+                queue.putters.append((task, request.item))
+                return
+            if cls is Acquire:
+                lock = request.lock
+                if lock.held_by is None:
+                    lock.held_by = task
+                    lock.acquisitions += 1
+                    value = None
+                    continue
+                lock.waiters.append(task)
+                return
+            if cls is Release:
+                lock = request.lock
+                if lock.held_by is not task:
+                    raise RuntimeError(
+                        f"{task.name} released {lock.name} it does "
+                        "not hold"
+                    )
+                if lock.waiters:
+                    nxt = lock.waiters.popleft()
+                    lock.held_by = nxt
+                    lock.acquisitions += 1
+                    push(heap, (now, next(seq), nxt, None))
+                else:
+                    lock.held_by = None
+                value = None
+                continue
+            if cls is ParkUntilNonEmpty:
+                self._handle_park_req(task, request)
+                return
+            # Tolerate subclasses of the request dataclasses (cold
+            # path; resumption goes through the heap).
+            for base, fallback in self._handlers.items():
+                if isinstance(request, base):
+                    fallback(task, request)
+                    return
+            raise TypeError(
+                f"unknown request {request!r} from {task.name}"
+            )
 
-    def _handle(self, task: _Task, request: Request) -> None:
-        if isinstance(request, Timeout):
-            self._schedule(request.delay, lambda: self._advance(task, None))
-        elif isinstance(request, Get):
-            self._handle_get(task, request.queue)
-        elif isinstance(request, Put):
-            self._handle_put(task, request.queue, request.item)
-        elif isinstance(request, Acquire):
-            self._handle_acquire(task, request.lock)
-        elif isinstance(request, Release):
-            self._handle_release(task, request.lock)
-        else:
-            raise TypeError(f"unknown request {request!r} from {task.name}")
+    # ------------------------------------------------------------------
+    # per-type handlers (type-keyed; unpack the request, then act)
+    # ------------------------------------------------------------------
+    def _handle_timeout(self, task: _Task, request: Timeout) -> None:
+        heapq.heappush(
+            self._heap,
+            (self.now + request.delay, next(self._seq), task, None),
+        )
+
+    def _handle_get_req(self, task: _Task, request: Get) -> None:
+        self._handle_get(task, request.queue)
+
+    def _handle_put_req(self, task: _Task, request: Put) -> None:
+        self._handle_put(task, request.queue, request.item)
+
+    def _handle_acquire_req(self, task: _Task, request: Acquire) -> None:
+        self._handle_acquire(task, request.lock)
+
+    def _handle_release_req(self, task: _Task, request: Release) -> None:
+        self._handle_release(task, request.lock)
+
+    def _handle_park_req(
+        self, task: _Task, request: ParkUntilNonEmpty
+    ) -> None:
+        queues = request.queues
+        for q in queues:
+            if q.items:
+                # Work appeared between the caller's scan and the park
+                # (or the caller never scanned): resume immediately.
+                self._schedule_task(0.0, task, True)
+                return
+        task.parked_on = queues
+        for q in queues:
+            q.parked.append(task)
+
+    # ------------------------------------------------------------------
+    def _wake_parked(self, queue: SimQueue) -> None:
+        """Wake the longest-parked task watching ``queue``, if any."""
+        if not queue.parked:
+            return
+        task = queue.parked.popleft()
+        if task.parked_on:
+            for q in task.parked_on:
+                if q is not queue:
+                    try:
+                        q.parked.remove(task)
+                    except ValueError:
+                        pass
+        task.parked_on = None
+        self._schedule_task(0.0, task, True)
 
     # ------------------------------------------------------------------
     def _handle_get(self, task: _Task, queue: SimQueue) -> None:
@@ -191,7 +454,7 @@ class Simulator:
             item = queue.items.popleft()
             queue.total_got += 1
             self._unblock_putter(queue)
-            self._schedule(0.0, lambda: self._advance(task, item))
+            self._schedule_task(0.0, task, item)
         else:
             queue.getters.append(task)
 
@@ -200,12 +463,13 @@ class Simulator:
             getter = queue.getters.popleft()
             queue.total_put += 1
             queue.total_got += 1
-            self._schedule(0.0, lambda: self._advance(getter, item))
-            self._schedule(0.0, lambda: self._advance(task, None))
+            self._schedule_task(0.0, getter, item)
+            self._schedule_task(0.0, task, None)
         elif not queue.is_full:
             queue.items.append(item)
             queue.total_put += 1
-            self._schedule(0.0, lambda: self._advance(task, None))
+            self._schedule_task(0.0, task, None)
+            self._wake_parked(queue)
         else:
             queue.putters.append((task, item))
 
@@ -214,14 +478,15 @@ class Simulator:
             putter, item = queue.putters.popleft()
             queue.items.append(item)
             queue.total_put += 1
-            self._schedule(0.0, lambda: self._advance(putter, None))
+            self._schedule_task(0.0, putter, None)
+            self._wake_parked(queue)
 
     # ------------------------------------------------------------------
     def _handle_acquire(self, task: _Task, lock: SimLock) -> None:
         if lock.held_by is None:
             lock.held_by = task
             lock.acquisitions += 1
-            self._schedule(0.0, lambda: self._advance(task, None))
+            self._schedule_task(0.0, task, None)
         else:
             lock.waiters.append(task)
 
@@ -234,7 +499,7 @@ class Simulator:
             nxt = lock.waiters.popleft()
             lock.held_by = nxt
             lock.acquisitions += 1
-            self._schedule(0.0, lambda: self._advance(nxt, None))
+            self._schedule_task(0.0, nxt, None)
         else:
             lock.held_by = None
-        self._schedule(0.0, lambda: self._advance(task, None))
+        self._schedule_task(0.0, task, None)

@@ -1,0 +1,366 @@
+"""Fast-path kernel semantics: parking, sync helpers, deadlock guard.
+
+Covers the event-driven rewrite of the DES kernel and engine:
+
+- bare-float timeout yields (the allocation-free hot path),
+- FIFO lock fairness under the trampoline dispatch,
+- ``ParkUntilNonEmpty`` wake ordering (one parked task per put, FIFO),
+- the synchronous helpers (``put_nowait``/``acquire_nowait``/
+  ``release_nowait``),
+- idle scheduler threads generating no polling events while queues are
+  empty (via the ``des.idle_scans``/``des.wakeups`` metrics),
+- the deadlock guard: a wedged run is *reported*, not measured as
+  near-zero throughput,
+- run-to-run determinism of ``DesResult``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import (
+    Acquire,
+    Get,
+    ParkUntilNonEmpty,
+    Release,
+    SimLock,
+    SimQueue,
+    Simulator,
+    measure_throughput,
+)
+from repro.des.engine import DesEngine
+from repro.graph.builder import GraphBuilder
+from repro.graph.topologies import pipeline
+from repro.obs.hub import ObservabilityHub
+from repro.perfmodel.machine import laptop
+from repro.runtime.queues import QueuePlacement
+
+
+def _metric(hub: ObservabilityHub, name: str) -> float:
+    return hub.registry.snapshot()[name]["value"]
+
+
+# ----------------------------------------------------------------------
+# bare-float timeouts
+# ----------------------------------------------------------------------
+class TestBareFloatTimeouts:
+    def test_float_yield_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 0.5
+            log.append(sim.now)
+            yield 1  # bare int works too
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run_until(10.0)
+        assert log == [0.5, 1.5]
+
+    def test_negative_float_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -0.1
+
+        sim.spawn(proc())
+        with pytest.raises(ValueError):
+            sim.run_until(1.0)
+
+
+# ----------------------------------------------------------------------
+# lock fairness under trampoline dispatch
+# ----------------------------------------------------------------------
+class TestLockFairness:
+    def test_fifo_handoff_in_arrival_order(self):
+        sim = Simulator()
+        lock = SimLock()
+        order = []
+
+        def contender(name):
+            yield Acquire(lock)
+            order.append(name)
+            yield 1.0
+            yield Release(lock)
+
+        for name in ("a", "b", "c", "d"):
+            sim.spawn(contender(name), name=name)
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c", "d"]
+
+    def test_sync_release_hands_to_fifo_waiter(self):
+        sim = Simulator()
+        lock = SimLock()
+        order = []
+
+        def holder():
+            assert sim.acquire_nowait(lock)
+            order.append("holder")
+            yield 1.0
+            sim.release_nowait(lock)
+
+        def waiter(name):
+            yield Acquire(lock)
+            order.append(name)
+            yield Release(lock)
+
+        sim.spawn(holder(), name="holder")
+        sim.spawn(waiter("w1"), name="w1")
+        sim.spawn(waiter("w2"), name="w2")
+        sim.run_until(10.0)
+        assert order == ["holder", "w1", "w2"]
+
+    def test_release_nowait_requires_ownership(self):
+        sim = Simulator()
+        lock = SimLock()
+
+        def holder():
+            yield Acquire(lock)
+            yield 5.0
+
+        def thief():
+            yield 1.0
+            sim.release_nowait(lock)
+
+        sim.spawn(holder(), name="holder")
+        sim.spawn(thief(), name="thief")
+        with pytest.raises(RuntimeError, match="does not hold"):
+            sim.run_until(10.0)
+
+
+# ----------------------------------------------------------------------
+# parking
+# ----------------------------------------------------------------------
+class TestParking:
+    def test_put_wakes_parked_in_fifo_order(self):
+        sim = Simulator()
+        q = SimQueue(capacity=8)
+        woken = []
+
+        def parker(name):
+            yield ParkUntilNonEmpty((q,))
+            woken.append(name)
+            sim.pop_nowait(q)
+
+        def producer():
+            yield 1.0
+            assert sim.put_nowait(q, "x")
+            yield 1.0
+            assert sim.put_nowait(q, "y")
+
+        sim.spawn(parker("p1"), name="p1")
+        sim.spawn(parker("p2"), name="p2")
+        sim.spawn(parker("p3"), name="p3")
+        sim.spawn(producer(), name="producer")
+        sim.run_until(1.5)
+        # One task per enqueued item, longest-parked first.
+        assert woken == ["p1"]
+        sim.run_until(10.0)
+        assert woken == ["p1", "p2"]
+        assert len(q.parked) == 1  # p3 still parked
+
+    def test_park_on_nonempty_queue_resumes_immediately(self):
+        sim = Simulator()
+        q = SimQueue()
+        q.items.append("x")
+        log = []
+
+        def parker():
+            yield ParkUntilNonEmpty((q,))
+            log.append(sim.now)
+
+        sim.spawn(parker())
+        sim.run_until(5.0)
+        assert log == [0.0]
+
+    def test_wake_removes_task_from_all_park_sets(self):
+        sim = Simulator()
+        q1, q2 = SimQueue(), SimQueue()
+
+        def parker():
+            yield ParkUntilNonEmpty((q1, q2))
+
+        def producer():
+            yield 1.0
+            sim.put_nowait(q2, "x")
+
+        sim.spawn(parker(), name="parker")
+        sim.spawn(producer(), name="producer")
+        sim.run_until(10.0)
+        assert not q1.parked and not q2.parked
+
+    def test_put_nowait_hands_off_to_blocked_getter(self):
+        sim = Simulator()
+        q = SimQueue()
+        got = []
+
+        def getter():
+            item = yield Get(q)
+            got.append((item, sim.now))
+
+        def producer():
+            yield 2.0
+            assert sim.put_nowait(q, "direct")
+
+        sim.spawn(getter(), name="getter")
+        sim.spawn(producer(), name="producer")
+        sim.run_until(10.0)
+        assert got == [("direct", 2.0)]
+        assert not q.items  # handed off, never queued
+
+    def test_put_nowait_reports_full(self):
+        sim = Simulator()
+        q = SimQueue(capacity=1)
+
+        def proc():
+            assert sim.put_nowait(q, 1)
+            assert not sim.put_nowait(q, 2)
+            yield 0.0
+
+        sim.spawn(proc())
+        sim.run_until(1.0)
+        assert list(q.items) == [1]
+
+
+# ----------------------------------------------------------------------
+# no polling while idle (engine-level, via metrics)
+# ----------------------------------------------------------------------
+class TestIdleParking:
+    def _paced_graph(self, rate: float):
+        b = GraphBuilder("paced", payload_bytes=64)
+        src = b.add_source("src", cost_flops=100.0, max_rate=rate)
+        op = b.add_operator("op0", cost_flops=100.0)
+        snk = b.add_sink("snk", cost_flops=10.0)
+        b.connect(src, op)
+        b.connect(op, snk)
+        return b.build()
+
+    def test_idle_threads_do_not_poll_empty_queues(self):
+        # A source paced to 2k tuples/s leaves the queues empty almost
+        # the whole window.  The old 2 µs busy-poll would log on the
+        # order of 10^5 idle scans over 50 ms of mostly-idle simulated
+        # time; parked threads instead cost O(1) events per idle
+        # episode, bounded by the number of pushes that end one.
+        hub = ObservabilityHub()
+        graph = self._paced_graph(rate=2000.0)
+        engine = DesEngine(
+            graph,
+            laptop(cores=4),
+            QueuePlacement.full(graph),
+            scheduler_threads=4,
+            obs=hub,
+        )
+        engine.run(warmup_s=0.0, measure_s=0.05)
+
+        pushes = _metric(hub, "des.queue_pushes")
+        idle_scans = _metric(hub, "des.idle_scans")
+        wakeups = _metric(hub, "des.wakeups")
+        parked = _metric(hub, "des.parked_threads")
+        assert pushes > 0
+        # Each wakeup ends one park episode, and an episode begins
+        # with at most one failed scan: both are bounded by queue
+        # activity, not by idle *time*.
+        assert wakeups <= pushes + 4
+        assert idle_scans <= 2 * pushes + 8
+        assert idle_scans < 10_000  # the busy-poll bound would be ~1e5
+        assert 0 <= parked <= 4
+
+    def test_deadlocked_false_on_healthy_run(self):
+        graph = self._paced_graph(rate=2000.0)
+        result = measure_throughput(
+            graph, laptop(cores=4), QueuePlacement.full(graph), 4,
+            warmup_s=0.0, measure_s=0.01,
+        )
+        assert not result.deadlocked
+        assert result.sink_tuples_per_s > 0
+
+
+# ----------------------------------------------------------------------
+# deadlock guard
+# ----------------------------------------------------------------------
+class TestDeadlockGuard:
+    def test_kernel_detects_abba_deadlock(self):
+        sim = Simulator()
+        a, b = SimLock("a"), SimLock("b")
+
+        def one():
+            yield Acquire(a)
+            yield 1.0
+            yield Acquire(b)
+
+        def two():
+            yield Acquire(b)
+            yield 1.0
+            yield Acquire(a)
+
+        sim.spawn(one(), name="one")
+        sim.spawn(two(), name="two")
+        sim.run_until(10.0)
+        assert sim.deadlocked
+        assert set(sim.deadlock_tasks) == {"one", "two"}
+        assert sim.now == 10.0  # clock still reaches the horizon
+
+    def test_kernel_not_deadlocked_when_all_tasks_finish(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        sim.spawn(proc())
+        sim.run_until(10.0)
+        assert not sim.deadlocked
+        assert sim.deadlock_tasks == ()
+
+    def test_wedged_engine_is_reported_not_measured(self, monkeypatch):
+        # Sources that block forever on a queue nobody fills: every
+        # scheduler thread parks, the heap drains, and the run must
+        # say so instead of reporting ~0 throughput.
+        def blocked_source(self, region):
+            dead = SimQueue(capacity=1, name="never-filled")
+            yield Get(dead)
+
+        monkeypatch.setattr(DesEngine, "_source_thread", blocked_source)
+        graph = pipeline(3, cost_flops=100.0, payload_bytes=64)
+        engine = DesEngine(
+            graph, laptop(cores=4), QueuePlacement.full(graph), 4
+        )
+        result = engine.run(warmup_s=0.001, measure_s=0.01)
+        assert result.deadlocked
+        assert engine.sim.deadlock_tasks  # names the stuck processes
+        assert result.sink_tuples_per_s == 0.0
+
+    def test_measure_throughput_warns_on_wedge(self, monkeypatch):
+        def blocked_source(self, region):
+            dead = SimQueue(capacity=1, name="never-filled")
+            yield Get(dead)
+
+        monkeypatch.setattr(DesEngine, "_source_thread", blocked_source)
+        graph = pipeline(3, cost_flops=100.0, payload_bytes=64)
+        with pytest.warns(RuntimeWarning, match="wedged"):
+            result = measure_throughput(
+                graph, laptop(cores=4), QueuePlacement.full(graph), 4
+            )
+        assert result.deadlocked
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def _run(self):
+        graph = pipeline(4, cost_flops=500.0, payload_bytes=128)
+        engine = DesEngine(
+            graph,
+            laptop(cores=4),
+            QueuePlacement.full(graph),
+            scheduler_threads=4,
+        )
+        result = engine.run(warmup_s=0.001, measure_s=0.005)
+        return result, engine.sim.events_processed
+
+    def test_identical_configs_produce_identical_results(self):
+        first, events_first = self._run()
+        second, events_second = self._run()
+        assert first == second
+        assert events_first == events_second
