@@ -10,6 +10,7 @@ arguments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,7 +26,12 @@ from ..core.saso import SasoReport, analyze
 from ..graph.cost import CostDistribution, assign_costs, balanced, skewed
 from ..graph.model import StreamGraph
 from ..graph.topologies import bushy_82, data_parallel, mixed, pipeline
-from ..perfmodel.machine import MachineProfile, power8_184, xeon_176
+from ..perfmodel.machine import (
+    MachineProfile,
+    laptop,
+    power8_184,
+    xeon_176,
+)
 from ..runtime.config import ElasticityConfig, RuntimeConfig
 from ..runtime.events import AdaptationTrace
 from ..runtime.executor import AdaptationExecutor
@@ -181,6 +187,103 @@ def fig06_adaptation(
             )
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# Figure 7 (DES substrate) — the profiled adaptation scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesAdaptationScenario:
+    """One DES-driven adaptation run with its full decision record.
+
+    ``decisions`` is the per-period ``(rule, set_threads, set_n_queues)``
+    sequence from the coordinator's Fig. 7 state machine, so two runs
+    can be checked for behavioural equivalence (the sampled-profiling
+    fast path must walk the same R1-R5 decisions as the fine-grained
+    dedicated-run design it replaces).  ``sim_events`` counts only DES
+    kernel events actually executed — measurement memo hits add none.
+    """
+
+    wall_s: float
+    sim_events: int
+    final_threads: int
+    final_queues: Tuple[int, ...]
+    converged_throughput: float
+    decisions: Tuple[Tuple[str, Optional[int], Optional[int]], ...]
+    cache_hits: int
+    cache_misses: int
+
+
+def fig07_des_adaptation(
+    sampled_profiling: bool = True,
+    memoize: bool = True,
+    max_periods: int = 160,
+    n_operators: int = 8,
+    cost_flops: float = 4000.0,
+    payload_bytes: int = 128,
+    cores: int = 4,
+    seed: int = 8,
+    warmup_s: float = 0.001,
+    measure_s: float = 0.004,
+) -> DesAdaptationScenario:
+    """Tuple-level adaptation with execution profiling (§3.1 + Fig. 7).
+
+    Runs the multi-level coordinator against the DES engine with the
+    profile coming from actual execution.  ``sampled_profiling=True``
+    is the continuous-sampling fast path (the profiler rides inside
+    each measurement run via sampled accounting); ``False`` is the
+    previous design — unprofiled measurements plus a dedicated
+    fine-grained profiling run per coordinator request.  ``memoize``
+    toggles measurement memoization; the benchmark suite times
+    ``(False, False)`` against ``(True, True)`` as the before/after of
+    the profiled-fast-path work.
+
+    The run uses a fixed-length trace (no stable-stop) so the two
+    variants walk the same number of periods, like the paper's Fig. 7
+    timelines which plot fixed durations.
+    """
+    from ..des.adaptation import DesAdaptationRunner
+    from ..obs.hub import ObservabilityHub
+    from . import cache
+
+    graph = pipeline(
+        n_operators, cost_flops=cost_flops, payload_bytes=payload_bytes
+    )
+    machine = laptop(cores)
+    hub = ObservabilityHub()
+    with cache.override(memoize):
+        cache.clear()
+        before = cache.stats()
+        runner = DesAdaptationRunner(
+            graph,
+            machine,
+            RuntimeConfig(cores=cores, seed=seed),
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            profile_from_execution=True,
+            sampled_profiling=sampled_profiling,
+            obs=hub,
+        )
+        t0 = time.perf_counter()
+        result = runner.run(
+            max_periods=max_periods, stop_after_stable_periods=None
+        )
+        wall = time.perf_counter() - t0
+        after = cache.stats()
+        cache.clear()
+    return DesAdaptationScenario(
+        wall_s=wall,
+        sim_events=runner.sim_events,
+        final_threads=result.final_threads,
+        final_queues=tuple(sorted(result.final_placement.queued)),
+        converged_throughput=result.converged_throughput,
+        decisions=tuple(
+            (d.rule, d.set_threads, d.set_n_queues)
+            for d in hub.decisions()
+        ),
+        cache_hits=after["hits"] - before["hits"],
+        cache_misses=after["misses"] - before["misses"],
+    )
 
 
 # ----------------------------------------------------------------------

@@ -20,9 +20,10 @@ the converged throughput to other baselines".
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from . import cache
 from ..core.thread_count import ThreadCountElasticity
 from ..graph.model import StreamGraph
 from ..obs.hub import Obs, ensure_hub
@@ -204,22 +205,44 @@ def compare(
     workload: str = "",
     obs: Optional[Obs] = None,
 ) -> Comparison:
-    """Run every strategy on one workload."""
+    """Run every strategy on one workload.
+
+    Memoized (:mod:`repro.bench.cache`): the outcome is deterministic
+    in the graph, machine, config and hand-tuned configuration, so a
+    repeated cell — the same workload compared again across a sweep's
+    fractions or adaptation periods — returns the cached
+    :class:`Comparison` (with ``wall_s`` reflecting the skipped work)
+    instead of re-running all strategies.
+    """
     t0 = time.perf_counter()
     config = config or RuntimeConfig(cores=machine.logical_cores)
+    key = (
+        "bench.compare",
+        cache.graph_fingerprint(graph),
+        cache.machine_fingerprint(machine),
+        cache.config_fingerprint(config),
+        hand,
+        workload,
+    )
+    hit, cached = cache.lookup(key, obs=obs)
+    if hit:
+        return replace(cached, wall_s=time.perf_counter() - t0)
     manual = run_manual(graph, machine)
     dynamic = run_dynamic_only(graph, machine, config, obs=obs)
     multi = run_multi_level(graph, machine, config, obs=obs)
     hand_result = None
     if hand is not None:
         hand_result = run_hand_optimized(graph, machine, hand[0], hand[1])
-    return Comparison(
-        workload=workload or graph.name,
-        manual=manual,
-        dynamic=dynamic,
-        multi_level=multi,
-        hand_optimized=hand_result,
-        wall_s=time.perf_counter() - t0,
+    return cache.store(
+        key,
+        Comparison(
+            workload=workload or graph.name,
+            manual=manual,
+            dynamic=dynamic,
+            multi_level=multi,
+            hand_optimized=hand_result,
+            wall_s=time.perf_counter() - t0,
+        ),
     )
 
 
@@ -240,7 +263,27 @@ def oracle_sweep(
     ``(fraction, best_threads, throughput)`` rows — the paper's black
     lines in Fig. 1, where "all throughputs are measured after thread
     elasticity has settled on the best number of threads".
+
+    Memoized (:mod:`repro.bench.cache`): the sweep is deterministic in
+    its arguments, and the same reference grid is recomputed across
+    figures (Fig. 1 cells, SASO analysis), so repeated sweeps return
+    the cached rows.
     """
+    candidates_key = (
+        tuple(thread_candidates) if thread_candidates is not None else None
+    )
+    if candidates_key is not None:
+        thread_candidates = candidates_key
+    key = (
+        "bench.oracle_sweep",
+        cache.graph_fingerprint(graph),
+        cache.machine_fingerprint(machine),
+        tuple(fractions),
+        candidates_key,
+    )
+    hit, cached = cache.lookup(key)
+    if hit:
+        return list(cached)
     model = PerformanceModel(graph, machine)
     weighted = graph.weighted_cost_flops()
     topo_pos = {
@@ -289,4 +332,4 @@ def oracle_sweep(
             if throughput > best:
                 best, best_threads = throughput, threads
         rows.append((fraction, best_threads, best))
-    return rows
+    return list(cache.store(key, tuple(rows)))

@@ -38,6 +38,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
+from . import cache
+
 __all__ = ["derive_seed", "parallel_enabled", "run_cells"]
 
 # Pool-infrastructure failures that mean "this environment cannot run
@@ -101,8 +103,17 @@ def run_cells(
     if len(cell_list) < 2 or not parallel_enabled(parallel):
         return [worker(*cell) for cell in cell_list]
     workers = max_workers or min(len(cell_list), os.cpu_count() or 1)
+    # Seed workers with the parent's memoized measurement cells
+    # (repro.bench.cache): a sweep re-running a grid the parent has
+    # already (partially) computed skips those cells in every worker.
+    seed_cache = cache.snapshot() if cache.memo_enabled() else {}
+    pool_kwargs = (
+        {"initializer": cache.install, "initargs": (seed_cache,)}
+        if seed_cache
+        else {}
+    )
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
             return list(
                 pool.map(_invoke, [(worker, c) for c in cell_list])
             )

@@ -47,6 +47,7 @@ def build_groups(
     graph: StreamGraph,
     profile: CostProfile,
     base: float = 10.0,
+    boundary_tol: float = 1e-9,
 ) -> List[ProfilingGroup]:
     """Bin queueable operators into groups by log(cost metric).
 
@@ -60,9 +61,24 @@ def build_groups(
     makes grouping invariant to the number of profiler samples (the
     absolute counter values scale with the profiling period, their
     ratios do not).
+
+    ``boundary_tol`` stabilizes metrics sitting on (or within the
+    tolerance of) a bin boundary: when ``log(max/metric, base)`` lands
+    within ``boundary_tol`` of an integer it snaps *to* that integer
+    before flooring.  ``log()`` of an exact power-of-``base`` ratio can
+    come out an ulp above or below the integer depending on how the
+    metric was accumulated (analytic weight vs. snapshot counter), and
+    without the snap the same operator would flip groups between
+    profiling mechanisms.  Callers comparing profiles with sampling
+    noise (snapshot counts differing by a few samples) can widen the
+    tolerance so near-boundary operators bin identically.
     """
     if base <= 1.0:
         raise ValueError(f"log base must be > 1, got {base}")
+    if boundary_tol < 0.0:
+        raise ValueError(
+            f"boundary_tol must be >= 0, got {boundary_tol}"
+        )
     metrics = profile.as_dict()
     eligible = queueable_indices(graph)
 
@@ -77,8 +93,15 @@ def build_groups(
             zeros.append(idx)
             continue
         # bin 0 holds metrics within one factor of `base` of the max,
-        # bin 1 the next factor down, etc.
-        bin_key = int(math.floor(math.log(max_metric / metric, base)))
+        # bin 1 the next factor down, etc.  Snap to the nearest integer
+        # within the tolerance first, so an exact power-of-base ratio
+        # bins identically regardless of fp rounding in log().
+        raw = math.log(max_metric / metric, base)
+        nearest = round(raw)
+        if abs(raw - nearest) <= boundary_tol:
+            bin_key = int(nearest)
+        else:
+            bin_key = int(math.floor(raw))
         bins.setdefault(bin_key, []).append(idx)
 
     groups: List[ProfilingGroup] = []

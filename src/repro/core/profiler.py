@@ -28,21 +28,28 @@ from ..perfmodel.machine import MachineProfile
 
 @dataclass(frozen=True)
 class CostProfile:
-    """Result of one profiling pass: operator index -> sample count."""
+    """Result of one profiling pass: operator index -> cost metric.
 
-    counts: Tuple[Tuple[int, int], ...]
+    The metric is a snapshot *count* for the simulated and
+    snapshot-based profilers, but any non-negative number works — the
+    binning layer only consumes ratios, so analytically-derived float
+    weights (e.g. sampled-accounting attributions scaled by segment
+    duration) are equally valid metrics.
+    """
+
+    counts: Tuple[Tuple[int, float], ...]
     n_samples: int
 
-    def as_dict(self) -> Dict[int, int]:
+    def as_dict(self) -> Dict[int, float]:
         return dict(self.counts)
 
-    def metric(self, op_index: int) -> int:
+    def metric(self, op_index: int) -> float:
         for idx, count in self.counts:
             if idx == op_index:
                 return count
         raise KeyError(f"operator {op_index} not in profile")
 
-    def nonzero(self) -> Dict[int, int]:
+    def nonzero(self) -> Dict[int, float]:
         return {idx: c for idx, c in self.counts if c > 0}
 
 

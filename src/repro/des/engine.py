@@ -39,8 +39,13 @@ credit crosses one.
 Performance notes (see ``docs/PERFORMANCE.md``): hot process bodies
 yield bare floats instead of ``Timeout`` dataclasses, and consecutive
 operator timeouts between lock/queue boundaries coalesce into a single
-event unless a profiler is attached (snapshot profiling needs one event
-per operator so samples land *inside* operators).
+event.  Profiled runs stay on the coalesced fast path by default:
+merged advances publish their analytic per-operator composition as a
+*sampled-accounting interval* (:meth:`ThreadRegistry.set_interval`),
+which the snapshot profiler resolves positionally — statistically
+equivalent to fine-grained per-operator events at a fraction of the
+cost.  ``attach_profiler(sampled=False)`` restores the fine-grained
+per-operator event granularity for cross-validation.
 """
 
 from __future__ import annotations
@@ -107,6 +112,15 @@ class _RegionPlan:
     single precomputed time delta (``flat_dt``), an optional
     synchronous push (``push`` is ``(queue, queue_op, cost)``) and a
     sink-credit constant — one simulator event per executed tuple.
+
+    ``prof_ops``/``prof_bounds_src``/``prof_bounds_sched`` describe one
+    executed tuple of a fast region as a cycle of attribution segments
+    for sampled-accounting profiling: ``prof_ops[i]`` is the operator
+    (or ``None`` for push-copy time) occupying the cycle up to
+    cumulative offset ``prof_bounds_*[i]``.  The scheduler variant folds
+    the scan + pop-synchronization cost into the first operator's
+    segment, exactly as the fine-grained path merges the seeded
+    ``pending`` delay into the first operator's timeout.
     """
 
     ops: Tuple[Tuple[int, float, Optional[SimLock], float], ...]
@@ -115,6 +129,9 @@ class _RegionPlan:
     flat_dt: float
     sink_total: float
     push: Optional[Tuple[SimQueue, int, float]]
+    prof_ops: Optional[Tuple[Optional[int], ...]] = None
+    prof_bounds_src: Optional[Tuple[float, ...]] = None
+    prof_bounds_sched: Optional[Tuple[float, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -198,11 +215,14 @@ class DesEngine:
         # operator they are executing; a profiler process may snapshot.
         self.registry = ThreadRegistry()
         self.profiler: Optional[SnapshotProfiler] = None
+        self._profiler_period: Optional[float] = None
+        self._profiler_sampled = True
         self._started = False
         # Tuple-path metrics, bound once here; with no hub attached
         # these are the shared null singletons (one no-op call per
         # event), so detached runs measure identically.
         hub = ensure_hub(obs)
+        self._hub = hub
         self._m_runs = hub.registry.counter(
             "des.runs", "DES measurement runs completed"
         )
@@ -275,6 +295,37 @@ class DesEngine:
         fast = all(lock is None for _i, _dt, lock, _s in ops_t) and (
             not pushes or (len(pushes) == 1 and pushes[0][2] == 1.0)
         )
+        # Sampled-accounting cycles: one executed tuple laid out as
+        # consecutive attribution segments, mirroring where the
+        # fine-grained path would be caught at each instant.
+        prof_ops: Optional[Tuple[Optional[int], ...]] = None
+        prof_bounds_src: Optional[Tuple[float, ...]] = None
+        prof_bounds_sched: Optional[Tuple[float, ...]] = None
+        if fast:
+            seg_ops: List[Optional[int]] = [i for i, _dt, _l, _s in ops_t]
+            seg_durs: List[float] = [dt for _i, dt, _l, _s in ops_t]
+            if pushes:
+                # Push-copy time is attributed to no operator, as the
+                # fine-grained path publishes idle before pushing.
+                seg_ops.append(None)
+                seg_durs.append(pushes[0][3])
+            if seg_durs and sum(seg_durs) > 0.0:
+                # The scheduler path merges scan + pop-sync cost into
+                # the first segment (the fine-grained path seeds it
+                # into the first operator's pending timeout).
+                head_extra = machine.scan_time(
+                    len(self._queue_order)
+                ) + machine.lock_uncontended_s
+                bounds_src: List[float] = []
+                bounds_sched: List[float] = []
+                acc = 0.0
+                for d in seg_durs:
+                    acc += d
+                    bounds_src.append(acc)
+                    bounds_sched.append(acc + head_extra)
+                prof_ops = tuple(seg_ops)
+                prof_bounds_src = tuple(bounds_src)
+                prof_bounds_sched = tuple(bounds_sched)
         return _RegionPlan(
             ops=ops_t,
             pushes=pushes,
@@ -286,6 +337,9 @@ class DesEngine:
                 if fast and pushes
                 else None
             ),
+            prof_ops=prof_ops,
+            prof_bounds_src=prof_bounds_src,
+            prof_bounds_sched=prof_bounds_sched,
         )
 
     def _region_work(
@@ -412,6 +466,16 @@ class DesEngine:
         core_pool = self._core_pool
         busy_s = self._busy_s
         plan = self._plans[region.entry]
+        fast_ok = self.profiler is None or self._profiler_sampled
+        # With a sampling profiler attached, merged advances publish
+        # their per-operator composition so snapshots still attribute.
+        publish = (
+            self.registry
+            if self.profiler is not None and fast_ok and plan.fast
+            else None
+        )
+        prof_bounds = plan.prof_bounds_src
+        prof_ops = plan.prof_ops
         min_interval = (
             1.0 / source_op.max_rate
             if source_op.max_rate is not None
@@ -440,7 +504,7 @@ class DesEngine:
                 else:
                     yield Get(core_pool)
                 slice_left = _CORE_SLICE
-            if plan.fast and self.profiler is None:
+            if plan.fast and fast_ok:
                 # One event per emitted burst: operator work and push
                 # copies advance together, then the enqueues happen
                 # synchronously.  A paced source emits one tuple per
@@ -448,6 +512,10 @@ class DesEngine:
                 b = 1 if min_interval else min(_CLAIM_BATCH, slice_left)
                 slice_left -= b
                 dt = b * plan.flat_dt
+                if publish is not None and prof_bounds is not None:
+                    publish.set_interval(
+                        name, sim.now, prof_bounds, prof_ops, b
+                    )
                 push = plan.push
                 if push is not None:
                     queue, queue_op, push_cost = push
@@ -492,7 +560,14 @@ class DesEngine:
         n = len(order)
         scan = self.machine.scan_time(n)
         lock_s = self.machine.lock_uncontended_s
-        fast_ok = self.profiler is None
+        fast_ok = self.profiler is None or self._profiler_sampled
+        # Interval publication keeps snapshot attribution working on
+        # merged advances (see _RegionPlan.prof_*).
+        publish = (
+            self.registry
+            if self.profiler is not None and fast_ok
+            else None
+        )
         # Scan probes resolved once to (queue, port, region, plan)
         # rows; the doubled list turns a rotated scan into straight
         # indexing with no per-probe dict lookups or modulo.
@@ -574,6 +649,14 @@ class DesEngine:
                     sim.pop_nowait(queue)
                 slice_left -= k
                 dt = k * (scan + lock_s + plan.flat_dt)
+                if publish is not None and plan.prof_bounds_sched is not None:
+                    publish.set_interval(
+                        name,
+                        sim.now,
+                        plan.prof_bounds_sched,
+                        plan.prof_ops,
+                        k,
+                    )
                 push = plan.push
                 if push is not None:
                     pqueue, pqueue_op, push_cost = push
@@ -613,28 +696,51 @@ class DesEngine:
 
     # ------------------------------------------------------------------
     def attach_profiler(
-        self, period_s: float = 1.0e-4
+        self, period_s: float = 1.0e-4, sampled: bool = True
     ) -> SnapshotProfiler:
         """Attach the paper's profiler thread: a process that snapshots
         every registered thread's current operator each ``period_s``.
 
         Must be called before :meth:`start`.  Returns the profiler whose
-        counters accumulate for the run's lifetime.  Attaching also
-        switches region execution to fine-grained (per-operator) time
-        advancement so samples land inside individual operators.
+        counters accumulate for the run's lifetime.
+
+        With ``sampled=True`` (the default) the engine keeps the
+        coalesced fast path: merged time advances publish their
+        analytic per-operator composition as sampled-accounting
+        intervals, which snapshots resolve positionally — statistically
+        equivalent attribution at fast-path cost.  ``sampled=False``
+        restores fine-grained per-operator time advancement (one event
+        per operator), used to cross-validate the sampled accounting.
+
+        Calling again with the *same* parameters returns the existing
+        profiler; a differing ``period_s`` or ``sampled`` raises
+        ``ValueError`` instead of being silently ignored.
         """
         if self._started:
             raise RuntimeError("attach_profiler must precede start()")
         if self.profiler is not None:
+            if period_s != self._profiler_period:
+                raise ValueError(
+                    f"profiler already attached with period_s="
+                    f"{self._profiler_period!r}; cannot re-attach with "
+                    f"period_s={period_s!r}"
+                )
+            if sampled != self._profiler_sampled:
+                raise ValueError(
+                    f"profiler already attached with sampled="
+                    f"{self._profiler_sampled!r}; cannot re-attach with "
+                    f"sampled={sampled!r}"
+                )
             return self.profiler
-        self.profiler = SnapshotProfiler(self.registry)
+        self.profiler = SnapshotProfiler(self.registry, obs=self._hub)
 
         def profiler_proc():
             while True:
                 yield period_s
-                self.profiler.sample()
+                self.profiler.sample(self.sim.now)
 
         self._profiler_period = period_s
+        self._profiler_sampled = sampled
         self._profiler_proc = profiler_proc
         return self.profiler
 

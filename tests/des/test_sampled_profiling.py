@@ -1,0 +1,242 @@
+"""Sampled-accounting profiling: fast-path profiles match fine-grained.
+
+The engine's coalesced fast path publishes merged time advances as
+interval cycles (:meth:`ThreadRegistry.set_interval`); the profiler
+resolves snapshots positionally inside them.  These tests pin the two
+properties the design stands on:
+
+- **statistical equivalence** — the profile gathered on the fast path
+  bins operators into the same :class:`ProfilingGroup`s as fine-grained
+  per-operator publication, across the paper's graph architectures;
+- **non-intrusiveness** — attaching the sampled profiler changes
+  *nothing* about what the simulation measures (identical sink
+  throughput to an unprofiled run), which is what makes continuous
+  profiling of measurement runs sound.
+
+Cost layout: test graphs put operators in two tiers of *rate-weighted*
+cost (the quantity snapshot counts estimate) separated by ~30x, well
+clear of the logarithmic bin boundaries, so membership is stable
+against sampling noise between two independently-scheduled runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binning import build_groups
+from repro.des.engine import DesEngine
+from repro.graph.builder import GraphBuilder
+from repro.graph.topologies import bushy, data_parallel, pipeline
+from repro.obs.hub import ObservabilityHub
+from repro.perfmodel.machine import laptop
+from repro.runtime.queues import QueuePlacement
+
+WARMUP_S = 0.001
+MEASURE_S = 0.006
+PERIOD_S = MEASURE_S / 400.0
+
+HEAVY_W = 9000.0
+LIGHT_W = 300.0
+
+
+def _two_tier(graph, heavy_names):
+    """Set costs so rate-weighted cost is HEAVY_W or LIGHT_W per op."""
+    rates = graph.arrival_rates()
+    costs = {}
+    for op in graph:
+        if op.is_source:
+            continue
+        target = HEAVY_W if op.name in heavy_names else LIGHT_W
+        costs[op.index] = target / rates[op.index]
+    return graph.replace_costs(costs)
+
+
+def _lockfree_pipeline():
+    """8-stage pipeline whose sink takes no lock: with no queues the
+    whole graph is one coalesced fast region — the pure fast path."""
+    b = GraphBuilder("sampled-pipe", payload_bytes=128)
+    prev = b.add_source("src", cost_flops=10.0)
+    for i in range(8):
+        op = b.add_operator(f"op{i}", cost_flops=300.0)
+        b.connect(prev, op)
+        prev = op
+    snk = b.add_sink("snk", cost_flops=300.0, uses_lock=False)
+    b.connect(prev, snk)
+    return _two_tier(b.build(), {"op0", "op2", "op6"})
+
+
+def _tiered_data_parallel():
+    graph = data_parallel(6, cost_flops=400.0, payload_bytes=128)
+    return _two_tier(graph, {"worker0", "worker3"})
+
+
+def _tiered_bushy():
+    graph = bushy(levels=3, cost_flops=500.0, payload_bytes=128)
+    return _two_tier(graph, {"split_l0_0"})
+
+
+def _profile(graph, placement, threads, sampled):
+    engine = DesEngine(
+        graph, laptop(4), placement, threads, queue_capacity=16
+    )
+    profiler = engine.attach_profiler(period_s=PERIOD_S, sampled=sampled)
+    engine.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+    return profiler.profile(len(graph))
+
+
+def _memberships(graph, profile):
+    return [g.members for g in build_groups(graph, profile)]
+
+
+class TestStatisticalEquivalence:
+    """Fine vs sampled profiles produce the same profiling groups."""
+
+    @pytest.mark.parametrize(
+        "graph_fn,placement_fn,threads",
+        [
+            # No queues, lock-free sink: source threads execute whole
+            # coalesced regions — the pure fast path the sampled
+            # accounting exists for.
+            (_lockfree_pipeline, lambda g: QueuePlacement.empty(), 0),
+            # Partial placement: multi-operator regions behind queues,
+            # claimed in batches by scheduler threads.
+            (_lockfree_pipeline, lambda g: QueuePlacement.of([3, 6]), 2),
+            # Full placement: every region single-operator.
+            (_lockfree_pipeline, QueuePlacement.full, 4),
+            # Fan-out/fan-in with a sink lock: non-fast regions mix
+            # fine-grained publication with sampled intervals.
+            (_tiered_data_parallel, lambda g: QueuePlacement.empty(), 0),
+            (_tiered_bushy, QueuePlacement.full, 3),
+        ],
+    )
+    def test_same_profiling_groups(self, graph_fn, placement_fn, threads):
+        graph = graph_fn()
+        placement = placement_fn(graph)
+        fine = _profile(graph, placement, threads, sampled=False)
+        samp = _profile(graph, placement, threads, sampled=True)
+        assert _memberships(graph, samp) == _memberships(graph, fine)
+
+    def test_heavy_operators_dominate_sampled_counts(self):
+        graph = _lockfree_pipeline()
+        profile = _profile(graph, QueuePlacement.empty(), 0, sampled=True)
+        counts = profile.as_dict()
+        heavy = [
+            op.index for op in graph if op.name in ("op0", "op2", "op6")
+        ]
+        light = [
+            op.index
+            for op in graph
+            if not op.is_source and op.index not in heavy
+        ]
+        # 30x weight separation: every heavy op is caught far more
+        # often than any light one.
+        assert min(counts[i] for i in heavy) > 5 * max(
+            counts[i] for i in light
+        )
+
+    def test_pure_fast_path_resolves_through_intervals(self):
+        """With a lock-free single region, *every* non-idle attribution
+        comes from interval resolution — the fast path never fell back
+        to fine-grained publication."""
+        graph = _lockfree_pipeline()
+        engine = DesEngine(graph, laptop(4), QueuePlacement.empty(), 0)
+        profiler = engine.attach_profiler(period_s=PERIOD_S, sampled=True)
+        engine.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+        attributed = sum(
+            c for _i, c in profiler.profile(len(graph)).counts
+        )
+        assert attributed > 0
+        assert engine.registry.interval_attributions >= attributed
+
+
+class TestNonIntrusiveness:
+    """Sampled profiling must not change what the DES measures."""
+
+    @pytest.mark.parametrize(
+        "placement_fn,threads",
+        [
+            (lambda g: QueuePlacement.empty(), 0),
+            (lambda g: QueuePlacement.of([2, 5]), 2),
+            (QueuePlacement.full, 4),
+        ],
+    )
+    def test_throughput_identical_to_unprofiled(self, placement_fn, threads):
+        graph = _lockfree_pipeline()
+        placement = placement_fn(graph)
+        plain = DesEngine(graph, laptop(4), placement, threads)
+        bare = plain.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+
+        profiled = DesEngine(graph, laptop(4), placement, threads)
+        profiled.attach_profiler(period_s=PERIOD_S, sampled=True)
+        prof = profiled.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+
+        assert prof.sink_tuples_per_s == bare.sink_tuples_per_s
+        assert prof.sink_tuples == bare.sink_tuples
+
+    def test_fine_grained_profiling_is_intrusive(self):
+        """The counterpart: fine-grained advancement multiplies the
+        kernel event count, which is exactly why it cannot ride inside
+        measurement runs (and why sampled accounting exists)."""
+        graph = _lockfree_pipeline()
+        plain = DesEngine(graph, laptop(4), QueuePlacement.empty(), 0)
+        plain.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+        bare_events = plain.sim.events_processed
+
+        fine = DesEngine(graph, laptop(4), QueuePlacement.empty(), 0)
+        fine.attach_profiler(period_s=PERIOD_S, sampled=False)
+        fine.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+        assert fine.sim.events_processed > 2 * bare_events
+
+
+class TestAttachProfiler:
+    def test_reattach_same_params_returns_same_profiler(self):
+        graph = pipeline(4)
+        engine = DesEngine(graph, laptop(2), QueuePlacement.empty(), 0)
+        p1 = engine.attach_profiler(period_s=1e-4, sampled=True)
+        p2 = engine.attach_profiler(period_s=1e-4, sampled=True)
+        assert p1 is p2
+
+    def test_period_mismatch_raises(self):
+        graph = pipeline(4)
+        engine = DesEngine(graph, laptop(2), QueuePlacement.empty(), 0)
+        engine.attach_profiler(period_s=1e-4)
+        with pytest.raises(ValueError, match="period_s"):
+            engine.attach_profiler(period_s=2e-4)
+
+    def test_sampled_mismatch_raises(self):
+        graph = pipeline(4)
+        engine = DesEngine(graph, laptop(2), QueuePlacement.empty(), 0)
+        engine.attach_profiler(period_s=1e-4, sampled=True)
+        with pytest.raises(ValueError, match="sampled"):
+            engine.attach_profiler(period_s=1e-4, sampled=False)
+
+    def test_attach_after_start_raises(self):
+        graph = pipeline(4)
+        engine = DesEngine(graph, laptop(2), QueuePlacement.empty(), 0)
+        engine.start()
+        with pytest.raises(RuntimeError):
+            engine.attach_profiler()
+
+
+class TestObservability:
+    def test_sampled_intervals_metric_counts_attributions(self):
+        hub = ObservabilityHub()
+        graph = _lockfree_pipeline()
+        engine = DesEngine(
+            graph, laptop(4), QueuePlacement.empty(), 0, obs=hub
+        )
+        engine.attach_profiler(period_s=PERIOD_S, sampled=True)
+        engine.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+        metric = hub.registry.counter("profiler.sampled_intervals")
+        assert metric.value > 0
+        assert metric.value == engine.registry.interval_attributions
+
+    def test_fine_grained_resolves_no_intervals(self):
+        hub = ObservabilityHub()
+        graph = _lockfree_pipeline()
+        engine = DesEngine(
+            graph, laptop(4), QueuePlacement.empty(), 0, obs=hub
+        )
+        engine.attach_profiler(period_s=PERIOD_S, sampled=False)
+        engine.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+        assert hub.registry.counter("profiler.sampled_intervals").value == 0
