@@ -585,3 +585,23 @@ def saso_analysis(
     )
     report = analyze(result.trace, reference_throughput=reference)
     return report, result.trace
+
+
+def scenario_bench(
+    name: str,
+    backend: Optional[str] = None,
+    scenario_dir: Optional[str] = None,
+):
+    """Run a named zoo scenario and return its per-backend results.
+
+    The bench-level entry point behind ``repro bench --scenario X``:
+    resolves ``name`` against the scenario zoo (or takes a file path),
+    compiles it and runs the adaptation loop on the requested
+    backend(s).  Returns a tuple of
+    :class:`~repro.scenarios.run.ScenarioRunResult`.
+    """
+    from ..scenarios import find_scenario, load_compiled, run_scenario
+
+    path = find_scenario(name, scenario_dir)
+    compiled = load_compiled(path)
+    return run_scenario(compiled, backend=backend)

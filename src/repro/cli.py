@@ -281,6 +281,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    scenarios = sub.add_parser(
+        "scenarios", help="inspect and validate the scenario zoo"
+    )
+    ssub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    slist = ssub.add_parser("list", help="list the scenario zoo")
+    slist.add_argument(
+        "--dir", default=None, help="scenario directory (default: zoo)"
+    )
+    svalidate = ssub.add_parser(
+        "validate",
+        help="validate scenario config files (schema + round-trip)",
+    )
+    svalidate.add_argument(
+        "path", nargs="+", help="scenario file path or zoo name"
+    )
+    svalidate.add_argument(
+        "--dir", default=None, help="scenario directory (default: zoo)"
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run a named scenario from the zoo"
+    )
+    bench.add_argument(
+        "--scenario", required=True, help="scenario name or file path"
+    )
+    bench.add_argument(
+        "--backend",
+        default=None,
+        choices=["des", "perfmodel", "both"],
+        help="override the scenario's declared backend",
+    )
+    bench.add_argument(
+        "--dir", default=None, help="scenario directory (default: zoo)"
+    )
+
     run = sub.add_parser("run", help="run a figure experiment")
     run.add_argument("experiment", help="e.g. fig09, fig15a")
     run.add_argument(
@@ -321,6 +356,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return run_trace(args)
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import cli as scenario_cli
+
+    if args.scenarios_command == "list":
+        return scenario_cli.cmd_list(args)
+    return scenario_cli.cmd_validate(args)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .scenarios import cli as scenario_cli
+
+    return scenario_cli.cmd_bench(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
@@ -330,6 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "elastic": _cmd_elastic,
         "sweep": _cmd_sweep,
         "latency": _cmd_latency,
+        "scenarios": _cmd_scenarios,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

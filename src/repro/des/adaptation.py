@@ -95,7 +95,19 @@ class DesAdaptationRunner:
         profile_from_execution: bool = False,
         sampled_profiling: bool = True,
         obs: Optional[Obs] = None,
+        arrivals_factory=None,  # t0 -> {source_index: Iterator[float]}
+        arrivals_key: Optional[Tuple] = None,
+        overflow: str = "block",
     ) -> None:
+        """``arrivals_factory`` makes measurement periods *open-loop*:
+        each period's engine gets fresh arrival streams starting at the
+        period's wall-clock offset, so time-varying envelopes (diurnal,
+        flash crowds) actually advance across the adaptation run.
+        ``arrivals_key`` is the process's hashable identity for the
+        measurement cache — without it open-loop periods are never
+        memoized (two factories cannot be proven equivalent).
+        ``overflow`` is the ingress policy (see :class:`DesEngine`).
+        """
         self.graph = graph
         self._workload_events = sorted(
             workload_events or [], key=lambda ev: ev[0]
@@ -129,6 +141,20 @@ class DesAdaptationRunner:
         # DES kernel events actually executed across the whole run —
         # memo hits contribute nothing (that is the point).
         self.sim_events = 0
+        self._arrivals_factory = arrivals_factory
+        self._arrivals_key = arrivals_key
+        self._overflow = overflow
+        # Simulated start time of the period being measured; drives the
+        # arrival envelope under open-loop workloads.
+        self._period_t0 = 0.0
+        # Offered-load utilization of the last measured period (1.0
+        # when closed-loop); see DesResult.offered_utilization.
+        self.last_offered_utilization = 1.0
+        self._m_offered_util = self._hub.registry.gauge(
+            "des.offered_utilization",
+            "fraction of the offered open-loop load the PE admitted "
+            "in the last measured period",
+        )
 
     @property
     def _profiler_period_s(self) -> float:
@@ -139,8 +165,18 @@ class DesAdaptationRunner:
         """Whether measurement runs carry the profiler thread."""
         return self.profile_from_execution and self.sampled_profiling
 
+    @property
+    def _open_loop(self) -> bool:
+        return self._arrivals_factory is not None
+
+    @property
+    def _cacheable(self) -> bool:
+        """Open-loop periods are memoizable only when the arrival
+        process declared a hashable identity."""
+        return not self._open_loop or self._arrivals_key is not None
+
     def _measure_key(self, kind: str, profiled: bool) -> Tuple:
-        return (
+        key = (
             kind,
             cache.graph_fingerprint(self.graph),
             tuple(sorted(self.placement.queued)),
@@ -154,17 +190,30 @@ class DesAdaptationRunner:
             self.sampled_profiling if profiled else None,
             self._profiler_period_s if profiled else None,
         )
+        if self._open_loop:
+            # The same configuration under a different envelope phase
+            # (or drop policy) is a different measurement.
+            key += (self._arrivals_key, self._period_t0, self._overflow)
+        return key
 
-    def _run_profiled(self, sampled: bool) -> Tuple[DesEngine, CostProfile]:
-        """One profiled execution of the current configuration."""
-        engine = DesEngine(
+    def _make_engine(self) -> DesEngine:
+        arrivals = None
+        if self._arrivals_factory is not None:
+            arrivals = self._arrivals_factory(self._period_t0)
+        return DesEngine(
             self.graph,
             self.machine,
             self.placement,
             self.threads,
             queue_capacity=self.queue_capacity,
             obs=self._hub,
+            arrivals=arrivals,
+            overflow=self._overflow,
         )
+
+    def _run_profiled(self, sampled: bool) -> Tuple[DesEngine, CostProfile]:
+        """One profiled execution of the current configuration."""
+        engine = self._make_engine()
         profiler = engine.attach_profiler(
             period_s=self._profiler_period_s,
             sampled=sampled,
@@ -189,14 +238,19 @@ class DesAdaptationRunner:
         # Dedicated profiling run: fine-grained profiling cannot ride
         # inside the measurement (it would perturb it), and a sampled
         # run may be asked for a profile before any period was measured.
-        key = self._measure_key("des.profile", True)
-        hit, cached = cache.lookup(key, obs=self._hub)
+        if self._cacheable:
+            key = self._measure_key("des.profile", True)
+            hit, cached = cache.lookup(key, obs=self._hub)
+        else:
+            hit, cached = False, None
         if hit:
             _result, profile = cached
-        else:
+        elif self._cacheable:
             profile = cache.store(
                 key, self._run_profiled(self.sampled_profiling)
             )[1]
+        else:
+            profile = self._run_profiled(self.sampled_profiling)[1]
         if self._continuous_profiling:
             self._last_profile = profile
         return build_groups(self.graph, profile)
@@ -212,31 +266,35 @@ class DesAdaptationRunner:
         without simulating a single event.
         """
         profiled = self._continuous_profiling
-        key = self._measure_key("des.measure", profiled)
-        hit, cached = cache.lookup(key, obs=self._hub)
+        if self._cacheable:
+            key = self._measure_key("des.measure", profiled)
+            hit, cached = cache.lookup(key, obs=self._hub)
+        else:
+            key = None
+            hit, cached = False, None
         if hit:
             result, profile = cached
         elif profiled:
-            result, profile = cache.store(
-                key, self._run_profiled(sampled=True)
-            )
+            result, profile = self._run_profiled(sampled=True)
+            if key is not None:
+                cache.store(key, (result, profile))
         else:
-            engine = DesEngine(
-                self.graph,
-                self.machine,
-                self.placement,
-                self.threads,
-                queue_capacity=self.queue_capacity,
-                obs=self._hub,
-            )
+            engine = self._make_engine()
             result = engine.run(
                 warmup_s=self.warmup_s, measure_s=self.measure_s
             )
             self.sim_events += engine.sim.events_processed
             profile = None
-            cache.store(key, (result, profile))
+            if key is not None:
+                cache.store(key, (result, profile))
         if profiled:
             self._last_profile = profile
+        # Open-loop honesty: an underloaded PE reports its offered-load
+        # utilization rather than letting a low absolute throughput be
+        # mistaken for contention by whoever reads the trace.
+        self.last_offered_utilization = result.offered_utilization
+        if result.open_loop:
+            self._m_offered_util.set(result.offered_utilization)
         return result.sink_tuples_per_s
 
     def run(
@@ -251,6 +309,9 @@ class DesAdaptationRunner:
         events = list(self._workload_events)
         for k in range(1, max_periods + 1):
             time_s = k * period_s
+            # Arrival envelopes advance with the adaptation clock: the
+            # k-th period's engine sees the schedule from (k-1)·T on.
+            self._period_t0 = (k - 1) * period_s
             while events and events[0][0] <= time_s:
                 _, new_graph = events.pop(0)
                 self.placement.validate(new_graph)

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Iterator, List, Optional, Tuple
 
 from ..graph.model import StreamGraph
 from ..obs.hub import Obs, ensure_hub
@@ -136,7 +136,15 @@ class _RegionPlan:
 
 @dataclass(frozen=True)
 class DesResult:
-    """Throughput measurement from one DES run."""
+    """Throughput measurement from one DES run.
+
+    ``offered_tuples_per_s``/``dropped_tuples``/``open_loop`` are only
+    meaningful for open-loop runs (sources driven by an arrival
+    schedule): *offered* counts arrivals presented to the sources
+    during the window, *dropped* counts arrivals shed at a full ingress
+    queue under the ``drop`` overflow policy.  For classic saturated
+    runs they stay at their zero defaults.
+    """
 
     sink_tuples_per_s: float
     source_tuples_per_s: float
@@ -145,6 +153,9 @@ class DesResult:
     queue_occupancy: Tuple[Tuple[int, int], ...]
     thread_busy_fraction: Tuple[Tuple[str, float], ...] = ()
     deadlocked: bool = False
+    offered_tuples_per_s: float = 0.0
+    dropped_tuples: float = 0.0
+    open_loop: bool = False
 
     @property
     def mean_utilization(self) -> float:
@@ -153,6 +164,33 @@ class DesResult:
             return 0.0
         return sum(f for _n, f in self.thread_busy_fraction) / len(
             self.thread_busy_fraction
+        )
+
+    @property
+    def offered_utilization(self) -> float:
+        """Fraction of the offered load the PE actually admitted.
+
+        1.0 means the PE kept up with the arrival schedule — low
+        throughput then reflects low *offered load*, not contention.
+        Values below 1.0 mean arrivals outpaced the PE (queues filled,
+        tuples dropped or the source stalled behind backpressure).
+        Returns 1.0 for closed-loop runs, where the notion is vacuous.
+        """
+        if not self.open_loop or self.offered_tuples_per_s <= 0.0:
+            return 1.0
+        return min(
+            1.0, self.source_tuples_per_s / self.offered_tuples_per_s
+        )
+
+    @property
+    def underloaded(self) -> bool:
+        """True when an open-loop PE kept up with a light arrival
+        schedule: throughput is offered-load-bound, so contention
+        inferences from low numbers would be wrong."""
+        return (
+            self.open_loop
+            and self.offered_utilization >= 0.95
+            and self.mean_utilization < 0.5
         )
 
 
@@ -167,10 +205,27 @@ class DesEngine:
         scheduler_threads: int,
         queue_capacity: int = 16,
         obs: Optional[Obs] = None,
+        arrivals: Optional[Dict[int, Iterator[float]]] = None,
+        overflow: str = "block",
     ) -> None:
+        """``arrivals`` maps source operator index -> an **infinite**
+        iterator of absolute arrival times (simulation seconds), making
+        those sources *open-loop*: they admit one tuple per scheduled
+        arrival instead of spinning saturated.  The iterator must be
+        unbounded — the kernel's deadlock detector cannot distinguish an
+        exhausted schedule from a wedged PE.  ``overflow`` selects what
+        an open-loop source does when its ingress queue is full:
+        ``"block"`` (stall behind backpressure, the closed-loop
+        behaviour) or ``"drop"`` (shed the arrival and count it in
+        ``des.dropped_tuples``).
+        """
         if scheduler_threads < 0:
             raise ValueError(
                 f"scheduler_threads must be >= 0, got {scheduler_threads}"
+            )
+        if overflow not in ("block", "drop"):
+            raise ValueError(
+                f"overflow must be 'block' or 'drop', got {overflow!r}"
             )
         self.graph = graph
         self.machine = machine
@@ -203,6 +258,15 @@ class DesEngine:
         self._push_credit: Dict[Tuple[int, int], float] = {}
         self._sink_count = 0.0
         self._source_count = 0.0
+        self._offered_count = 0.0
+        self._dropped_count = 0.0
+        self._arrivals = dict(arrivals) if arrivals else {}
+        self._overflow_drop = overflow == "drop"
+        for idx in self._arrivals:
+            if idx >= len(graph) or not graph.operator(idx).is_source:
+                raise ValueError(
+                    f"arrivals key {idx} is not a source operator"
+                )
         self._busy_s: Dict[str, float] = {}
         self._region_by_entry: Dict[int, Region] = {
             r.entry: r for r in self.decomposition.regions
@@ -249,6 +313,14 @@ class DesEngine:
         self._m_wakeups = hub.registry.counter(
             "des.wakeups",
             "parked scheduler threads woken by queue activity",
+        )
+        self._m_offered = hub.registry.counter(
+            "des.offered_tuples",
+            "open-loop arrivals presented to source operators",
+        )
+        self._m_dropped = hub.registry.counter(
+            "des.dropped_tuples",
+            "open-loop arrivals shed at a full ingress queue",
         )
 
     # ------------------------------------------------------------------
@@ -550,6 +622,135 @@ class DesEngine:
                 else:
                     slice_left = _CORE_SLICE
 
+    def _open_loop_source_thread(
+        self, region: Region, arrivals: Iterator[float]
+    ) -> _Req:
+        """Source driven by an external arrival schedule (open loop).
+
+        One iteration per scheduled arrival: sleep until the arrival is
+        due (never holding a core across the wait), then admit the
+        tuple — acquire a core, execute the source's manual region and
+        push downstream.  Under the ``drop`` overflow policy an arrival
+        that finds its ingress queue full is shed immediately and
+        counted, modelling ingress load shedding; under ``block`` the
+        source stalls behind backpressure exactly like the saturated
+        path (draining the consumer inline via ``_push_with_help`` so
+        the PE cannot wedge).
+
+        A slow schedule leaves the thread parked on a future timestamp
+        rather than spinning, so underloaded PEs burn no simulated
+        CPU — which is what makes offered-load utilization measurable.
+
+        Under ``block`` the fast path coalesces the *already-due*
+        backlog into one burst per event, capped exactly like the
+        saturated path (``min(_CLAIM_BATCH, slice_left)``).  When the
+        schedule outruns the PE this reproduces the saturated source's
+        event structure — and therefore its timing — so a saturating
+        open-loop schedule yields the same measurements (and the same
+        adaptation decisions) as the classic closed-loop run.  ``drop``
+        keeps strict per-arrival admission: each arrival's shed check
+        must see the queue state at its own admission instant.
+        """
+        sim = self.sim
+        name = f"src:{region.entry}"
+        core_pool = self._core_pool
+        busy_s = self._busy_s
+        plan = self._plans[region.entry]
+        fast_ok = self.profiler is None or self._profiler_sampled
+        publish = (
+            self.registry
+            if self.profiler is not None and fast_ok and plan.fast
+            else None
+        )
+        prof_bounds = plan.prof_bounds_src
+        prof_ops = plan.prof_ops
+        drop = self._overflow_drop
+        ingress = tuple(q for q, _key, _incr, _cost in plan.pushes)
+        slice_left = 0
+        arrivals = iter(arrivals)
+        pending: Optional[float] = None
+        while True:
+            if pending is not None:
+                due, pending = pending, None
+            else:
+                try:
+                    due = next(arrivals)
+                except StopIteration:  # pragma: no cover - infinite contract
+                    return
+            wait = due - sim.now
+            if wait > 0:
+                if slice_left > 0:
+                    # Never hold a core across an idle wait.
+                    slice_left = 0
+                    sim.put_nowait(core_pool, _TOKEN)
+                yield wait
+            self._offered_count += 1.0
+            self._m_offered.inc()
+            if drop and ingress and any(q.is_full for q in ingress):
+                # Ingress shed: the arrival never enters the PE.
+                self._dropped_count += 1.0
+                self._m_dropped.inc()
+                continue
+            if slice_left <= 0:
+                if core_pool.items:
+                    core_pool.items.popleft()
+                    core_pool.total_got += 1
+                else:
+                    yield Get(core_pool)
+                slice_left = _CORE_SLICE
+            if plan.fast and fast_ok:
+                b = 1
+                if not drop:
+                    # Admit the due backlog as one burst (see above).
+                    b_max = min(_CLAIM_BATCH, slice_left)
+                    while b < b_max:
+                        try:
+                            nxt = next(arrivals)
+                        except StopIteration:  # pragma: no cover
+                            break
+                        if nxt > sim.now:
+                            pending = nxt
+                            break
+                        b += 1
+                        self._offered_count += 1.0
+                        self._m_offered.inc()
+                slice_left -= b
+                dt = b * plan.flat_dt
+                if publish is not None and prof_bounds is not None:
+                    publish.set_interval(
+                        name, sim.now, prof_bounds, prof_ops, b
+                    )
+                push = plan.push
+                if push is not None:
+                    queue, queue_op, push_cost = push
+                    dt += b * push_cost
+                    busy_s[name] = busy_s.get(name, 0.0) + dt
+                    yield dt
+                    for _ in range(b):
+                        if sim.put_nowait(queue, _TOKEN):
+                            self._m_pushes.inc()
+                        else:
+                            yield from self._push_with_help(
+                                queue_op, queue, name
+                            )
+                elif dt:
+                    busy_s[name] = busy_s.get(name, 0.0) + dt
+                    yield dt
+                if plan.sink_total:
+                    self._sink_count += plan.sink_total * b
+                    self._m_sink.inc(plan.sink_total * b)
+                self._source_count += b
+                self._m_source.inc(b)
+            else:
+                slice_left -= 1
+                yield from self._region_work(
+                    region, count_source=True, thread_name=name
+                )
+            if slice_left <= 0 and core_pool.getters:
+                sim.put_nowait(core_pool, _TOKEN)
+            elif slice_left <= 0:
+                slice_left = _CORE_SLICE
+
     def _scheduler_thread(self, thread_id: int) -> _Req:
         name = f"sched:{thread_id}"
         sim = self.sim
@@ -754,7 +955,14 @@ class DesEngine:
         for region in self.decomposition.source_regions:
             self.registry.register(f"src:{region.entry}")
             name = f"src-thread:{region.entry}"
-            self.sim.spawn(self._source_thread(region), name=name)
+            schedule = self._arrivals.get(region.entry)
+            if schedule is not None:
+                self.sim.spawn(
+                    self._open_loop_source_thread(region, schedule),
+                    name=name,
+                )
+            else:
+                self.sim.spawn(self._source_thread(region), name=name)
         if self._queues:
             for tid in range(self.scheduler_threads):
                 self.registry.register(f"sched:{tid}")
@@ -780,6 +988,8 @@ class DesEngine:
         self.sim.run_until(self.sim.now + warmup_s)
         self._sink_count = 0.0
         self._source_count = 0.0
+        self._offered_count = 0.0
+        self._dropped_count = 0.0
         self._busy_s.clear()
         start = self.sim.now
         self.sim.run_until(start + measure_s)
@@ -802,6 +1012,11 @@ class DesEngine:
             queue_occupancy=occupancy,
             thread_busy_fraction=busy,
             deadlocked=self.sim.deadlocked,
+            offered_tuples_per_s=(
+                self._offered_count / window if window else 0.0
+            ),
+            dropped_tuples=self._dropped_count,
+            open_loop=bool(self._arrivals),
         )
 
 
@@ -814,8 +1029,19 @@ def measure_throughput(
     measure_s: float = 0.01,
     queue_capacity: int = 16,
     obs: Optional[Obs] = None,
+    arrivals: Optional[Dict[int, Iterator[float]]] = None,
+    overflow: str = "block",
 ) -> DesResult:
     """Convenience wrapper: build, run and measure one configuration.
+
+    ``arrivals``/``overflow`` make the run open-loop (see
+    :class:`DesEngine`).  Historically every caller assumed saturated
+    sources, so low throughput always meant contention; for an
+    underloaded open-loop run the result instead carries
+    ``offered_tuples_per_s`` / ``offered_utilization`` so callers can
+    tell "the PE kept up with a light schedule" apart from "the PE is
+    struggling" — check :attr:`DesResult.underloaded` before reasoning
+    about contention.
 
     Warns (``RuntimeWarning``) when the run wedged — every process
     blocked with no pending event — because the throughput measured
@@ -828,6 +1054,8 @@ def measure_throughput(
         scheduler_threads,
         queue_capacity=queue_capacity,
         obs=obs,
+        arrivals=arrivals,
+        overflow=overflow,
     )
     result = engine.run(warmup_s=warmup_s, measure_s=measure_s)
     if result.deadlocked:

@@ -1,0 +1,75 @@
+"""Declarative scenario DSL and open-loop traffic generation.
+
+This package turns the repository's evaluation corpus from hand-built
+Python into *data*: a scenario file declares a graph shape, a cost
+profile, a machine and a time-varying open-loop workload; the compiler
+lowers it onto both execution substrates (tuple-level DES and the
+analytical perfmodel); and the ``scenarios/`` directory at the repo
+root is the regression zoo that CI validates and runs.
+
+Public surface:
+
+- :mod:`~repro.scenarios.schema` — the validated vocabulary
+  (:class:`Scenario` and friends, :class:`ScenarioError` with dotted
+  field paths, ``scenario_from_dict``/``scenario_to_dict``);
+- :mod:`~repro.scenarios.arrivals` — seeded deterministic/Poisson
+  arrival processes with diurnal/ON-OFF/flash-crowd/ramp envelopes;
+- :mod:`~repro.scenarios.compile` — scenario → graph/machine/config
+  (:func:`compile_scenario`, :func:`load_scenario`);
+- :mod:`~repro.scenarios.zoo` — named-config discovery;
+- :mod:`~repro.scenarios.run` — one-call execution on either backend.
+"""
+
+from .arrivals import ArrivalProcess
+from .compile import (
+    CompiledScenario,
+    compile_scenario,
+    load_compiled,
+    load_scenario,
+)
+from .run import ScenarioRunResult, run_scenario
+from .schema import (
+    ArrivalKind,
+    ArrivalSpec,
+    Backend,
+    CostKind,
+    MachineName,
+    ModulationKind,
+    ModulationSpec,
+    OverflowPolicy,
+    PayloadKind,
+    Scenario,
+    ScenarioError,
+    TopologyShape,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .zoo import find_scenario, load_all, load_named, scenario_dir
+
+__all__ = [
+    "ArrivalKind",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "Backend",
+    "CompiledScenario",
+    "CostKind",
+    "MachineName",
+    "ModulationKind",
+    "ModulationSpec",
+    "OverflowPolicy",
+    "PayloadKind",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRunResult",
+    "TopologyShape",
+    "compile_scenario",
+    "find_scenario",
+    "load_all",
+    "load_compiled",
+    "load_named",
+    "load_scenario",
+    "run_scenario",
+    "scenario_dir",
+    "scenario_from_dict",
+    "scenario_to_dict",
+]

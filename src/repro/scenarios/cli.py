@@ -1,0 +1,160 @@
+"""CLI handlers for the scenario zoo.
+
+Wired into the main ``repro`` parser (:mod:`repro.cli`):
+
+- ``repro scenarios list`` — the zoo's names, shapes and workloads;
+- ``repro scenarios validate <path|name> ...`` — schema + structural
+  validation with field-level error messages, plus a serialization
+  round-trip check (parse → serialize → parse must be identity);
+- ``repro bench --scenario X [--backend des|perfmodel|both]`` — run a
+  named scenario end to end and print the per-backend outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..bench.reporting import format_table
+from .compile import compile_scenario, load_scenario
+from .schema import ScenarioError, scenario_from_dict, scenario_to_dict
+from .zoo import find_scenario, scenario_dir, scenario_files
+
+
+def _workload_summary(scenario) -> str:
+    arr = scenario.workload.arrivals
+    if not arr.open_loop:
+        return "saturated"
+    mod = arr.modulation
+    desc = f"{arr.kind.value}@{arr.rate:g}/s"
+    if mod.kind.value != "none":
+        desc += f" {mod.kind.value}"
+    return desc
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    files = scenario_files(args.dir)
+    if not files:
+        print(
+            f"no scenario configs found in {scenario_dir(args.dir)}",
+            file=sys.stderr,
+        )
+        return 1
+    rows = []
+    for path in files:
+        try:
+            s = load_scenario(path)
+        except ScenarioError as exc:
+            rows.append([path.stem, "<invalid>", "", str(exc)])
+            continue
+        rows.append(
+            [
+                s.name,
+                s.topology.shape.value,
+                _workload_summary(s),
+                s.description,
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "shape", "workload", "description"],
+            rows,
+            title=f"scenario zoo ({scenario_dir(args.dir)})",
+        )
+    )
+    return 0
+
+
+def validate_one(path, check_roundtrip: bool = True) -> List[str]:
+    """Validate one config file; returns a list of error strings."""
+    try:
+        scenario = load_scenario(path)
+    except ScenarioError as exc:
+        return [str(exc)]
+    try:
+        compile_scenario(scenario)
+    except ScenarioError as exc:
+        return [str(exc)]
+    if check_roundtrip:
+        try:
+            again = scenario_from_dict(scenario_to_dict(scenario))
+        except ScenarioError as exc:
+            return [f"serialization round-trip failed to re-parse: {exc}"]
+        if again != scenario:
+            return [
+                "serialization round-trip changed the scenario "
+                "(parse -> serialize -> parse is not the identity)"
+            ]
+    return []
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for ref in args.path:
+        try:
+            path = find_scenario(ref, args.dir)
+        except ScenarioError as exc:
+            print(f"FAIL {ref}: {exc}")
+            failures += 1
+            continue
+        errors = validate_one(path)
+        if errors:
+            failures += 1
+            for err in errors:
+                print(f"FAIL {path}: {err}")
+        else:
+            print(f"ok   {path}")
+    if failures:
+        print(
+            f"{failures} of {len(args.path)} scenario(s) failed validation",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .run import run_scenario
+
+    try:
+        path = find_scenario(args.scenario, args.dir)
+        compiled = compile_scenario(load_scenario(path))
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = run_scenario(compiled, backend=args.backend)
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.backend,
+                r.periods,
+                r.converged_throughput,
+                r.final_threads,
+                r.final_n_queues,
+                f"{r.offered_utilization:.2f}" if r.open_loop else "-",
+                int(r.dropped_tuples) if r.open_loop else "-",
+            ]
+        )
+    workload = _workload_summary(compiled.scenario)
+    print(
+        format_table(
+            [
+                "backend",
+                "periods",
+                "converged T/s",
+                "threads",
+                "queues",
+                "offered util",
+                "dropped",
+            ],
+            rows,
+            title=(
+                f"scenario {compiled.scenario.name!r} "
+                f"({compiled.scenario.topology.shape.value}, {workload}, "
+                f"{compiled.machine.name})"
+            ),
+        )
+    )
+    return 0

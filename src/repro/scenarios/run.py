@@ -1,0 +1,166 @@
+"""Execute compiled scenarios on the DES and perfmodel backends.
+
+One entry point, :func:`run_scenario`, drives the same compiled
+scenario through either substrate:
+
+- **des** — the tuple-level engine via
+  :class:`~repro.des.adaptation.DesAdaptationRunner`, with open-loop
+  arrival streams, bounded queues and the configured overflow policy;
+- **perfmodel** — the analytical model via
+  :class:`~repro.runtime.pe.ProcessingElement` +
+  :class:`~repro.runtime.executor.AdaptationExecutor`, where the
+  compiler's source ``max_rate`` cap makes offered load the binding
+  constraint when the workload is lighter than the machine.
+
+Both paths publish decisions through the same
+:class:`~repro.obs.ObservabilityHub`, so a scenario's R1–R5 decision
+sequence is comparable across backends and across sessions — the
+property the regression zoo exists to pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..obs.hub import Obs, ObservabilityHub
+from .compile import CompiledScenario
+from .schema import Backend
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """Outcome of one scenario run on one backend.
+
+    ``decisions`` is the coordinator's per-period
+    ``(rule, set_threads, set_n_queues)`` sequence — the regression
+    signature.  ``offered_utilization`` is the fraction of the offered
+    open-loop load the PE admitted in the last measured period (1.0
+    for saturated scenarios); ``dropped_tuples`` counts arrivals shed
+    at full ingress queues under the ``drop`` policy across the run.
+    """
+
+    scenario: str
+    backend: str
+    periods: int
+    converged_throughput: float
+    final_threads: int
+    final_n_queues: int
+    decisions: Tuple[Tuple[str, Optional[int], Optional[int]], ...]
+    offered_utilization: float = 1.0
+    dropped_tuples: float = 0.0
+    open_loop: bool = False
+    mean_arrival_rate: Optional[float] = None
+
+
+def _decisions(hub: ObservabilityHub):
+    return tuple(
+        (d.rule, d.set_threads, d.set_n_queues) for d in hub.decisions()
+    )
+
+
+def _counter_value(hub: ObservabilityHub, name: str) -> float:
+    metric = hub.registry.get(name)
+    return float(metric.value) if metric is not None else 0.0
+
+
+def run_on_des(
+    compiled: CompiledScenario, obs: Optional[Obs] = None
+) -> ScenarioRunResult:
+    """Run the scenario's adaptation loop on the tuple-level DES."""
+    from ..des.adaptation import DesAdaptationRunner
+
+    run = compiled.scenario.run
+    hub = obs if obs is not None else ObservabilityHub()
+    runner = DesAdaptationRunner(
+        compiled.graph,
+        compiled.machine,
+        compiled.config,
+        warmup_s=run.warmup_s,
+        measure_s=run.measure_s,
+        queue_capacity=run.queue_capacity,
+        profile_from_execution=run.profile_from_execution,
+        sampled_profiling=True,
+        obs=hub,
+        arrivals_factory=compiled.arrivals_factory(),
+        arrivals_key=compiled.arrivals_key(),
+        overflow=compiled.overflow,
+    )
+    result = runner.run(
+        max_periods=run.max_periods,
+        stop_after_stable_periods=run.stop_after_stable_periods,
+    )
+    return ScenarioRunResult(
+        scenario=compiled.scenario.name,
+        backend="des",
+        periods=len(result.trace.observations),
+        converged_throughput=result.converged_throughput,
+        final_threads=result.final_threads,
+        final_n_queues=result.final_placement.n_queues,
+        decisions=_decisions(hub),
+        offered_utilization=runner.last_offered_utilization,
+        dropped_tuples=_counter_value(hub, "des.dropped_tuples"),
+        open_loop=compiled.open_loop,
+        mean_arrival_rate=compiled.mean_arrival_rate,
+    )
+
+
+def run_on_perfmodel(
+    compiled: CompiledScenario, obs: Optional[Obs] = None
+) -> ScenarioRunResult:
+    """Run the scenario's adaptation loop on the analytical model."""
+    from ..runtime.executor import AdaptationExecutor
+    from ..runtime.pe import ProcessingElement
+
+    run = compiled.scenario.run
+    hub = obs if obs is not None else ObservabilityHub()
+    pe = ProcessingElement(
+        compiled.graph, compiled.machine, compiled.config
+    )
+    executor = AdaptationExecutor(pe, obs=hub)
+    result = executor.run(
+        duration_s=run.duration_s,
+        stop_after_stable_periods=run.stop_after_stable_periods,
+    )
+    # The analytical model has no transient queue state to overflow;
+    # offered-load utilization is achieved/offered at the cap.
+    offered_util = 1.0
+    if compiled.open_loop and compiled.mean_arrival_rate:
+        sources = len(compiled.graph.sources)
+        offered = compiled.mean_arrival_rate * sources
+        sink_gain = compiled.sink_gain()
+        if offered > 0 and sink_gain > 0:
+            achieved = result.converged_throughput / sink_gain
+            offered_util = min(1.0, achieved / offered)
+    return ScenarioRunResult(
+        scenario=compiled.scenario.name,
+        backend="perfmodel",
+        periods=len(result.trace.observations),
+        converged_throughput=result.converged_throughput,
+        final_threads=result.final_threads,
+        final_n_queues=result.final_n_queues,
+        decisions=_decisions(hub),
+        offered_utilization=offered_util,
+        open_loop=compiled.open_loop,
+        mean_arrival_rate=compiled.mean_arrival_rate,
+    )
+
+
+def run_scenario(
+    compiled: CompiledScenario,
+    backend: Optional[str] = None,
+    obs: Optional[Obs] = None,
+) -> Tuple[ScenarioRunResult, ...]:
+    """Run a compiled scenario on the requested backend(s).
+
+    ``backend`` is ``"des"``, ``"perfmodel"`` or ``"both"``; ``None``
+    defers to the scenario's own ``run.backend`` declaration.  Returns
+    one result per backend actually run.
+    """
+    choice = Backend(backend) if backend else compiled.scenario.run.backend
+    results = []
+    if choice in (Backend.DES, Backend.BOTH):
+        results.append(run_on_des(compiled, obs=obs))
+    if choice in (Backend.PERFMODEL, Backend.BOTH):
+        results.append(run_on_perfmodel(compiled, obs=obs))
+    return tuple(results)

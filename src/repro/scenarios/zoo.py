@@ -1,0 +1,92 @@
+"""The scenario zoo: discovery and loading of the named config corpus.
+
+The repository ships a ``scenarios/`` directory of named YAML/JSON
+configs — the regression corpus that ``repro bench --scenario X`` and
+CI validate and run.  This module locates that directory and resolves
+scenario names to files:
+
+- ``REPRO_SCENARIO_DIR`` (environment) overrides everything;
+- otherwise the ``scenarios/`` directory at the repository root
+  (resolved relative to this package, so editable installs work);
+- otherwise ``./scenarios`` under the current working directory.
+
+Names are file stems: ``scenarios/onoff-burst-overflow.yaml`` is the
+scenario ``onoff-burst-overflow``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .compile import load_scenario
+from .schema import Scenario, ScenarioError
+
+_EXTENSIONS = (".yaml", ".yml", ".json")
+
+
+def scenario_dir(override: Optional[Union[str, Path]] = None) -> Path:
+    """Resolve the zoo directory (see module docstring for the order)."""
+    if override is not None:
+        return Path(override)
+    env = os.environ.get("REPRO_SCENARIO_DIR")
+    if env:
+        return Path(env)
+    repo_root = Path(__file__).resolve().parents[3]
+    candidate = repo_root / "scenarios"
+    if candidate.is_dir():
+        return candidate
+    return Path.cwd() / "scenarios"
+
+
+def scenario_files(
+    directory: Optional[Union[str, Path]] = None,
+) -> List[Path]:
+    """All scenario config files in the zoo, sorted by name."""
+    root = scenario_dir(directory)
+    if not root.is_dir():
+        return []
+    return sorted(
+        (
+            p
+            for p in root.iterdir()
+            if p.is_file() and p.suffix.lower() in _EXTENSIONS
+        ),
+        key=lambda p: p.stem,
+    )
+
+
+def find_scenario(
+    name: str, directory: Optional[Union[str, Path]] = None
+) -> Path:
+    """Resolve a scenario name (file stem) or path to a config file."""
+    direct = Path(name)
+    if direct.is_file() and direct.suffix.lower() in _EXTENSIONS:
+        return direct
+    matches = [p for p in scenario_files(directory) if p.stem == name]
+    if not matches:
+        known = ", ".join(p.stem for p in scenario_files(directory))
+        raise ScenarioError(
+            "",
+            f"unknown scenario {name!r} "
+            f"(known: {known or '<empty zoo>'}; "
+            f"zoo dir: {scenario_dir(directory)})",
+        )
+    return matches[0]
+
+
+def load_named(
+    name: str, directory: Optional[Union[str, Path]] = None
+) -> Scenario:
+    """Load a zoo scenario by name."""
+    return load_scenario(find_scenario(name, directory))
+
+
+def load_all(
+    directory: Optional[Union[str, Path]] = None,
+) -> Dict[str, Scenario]:
+    """Load and validate every config in the zoo, keyed by file stem."""
+    return {
+        p.stem: load_scenario(p) for p in scenario_files(directory)
+    }

@@ -1,0 +1,178 @@
+"""Open-loop DES sources: offered-load accounting, bounded-queue
+overflow, and equivalence with the saturated path when the schedule
+saturates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.engine import DesEngine, measure_throughput
+from repro.graph.topologies import pipeline
+from repro.obs.hub import ObservabilityHub
+from repro.perfmodel.machine import laptop
+from repro.runtime.queues import QueuePlacement
+from repro.scenarios.arrivals import ArrivalProcess
+from repro.scenarios.schema import (
+    ArrivalKind,
+    ArrivalSpec,
+    ModulationKind,
+    ModulationSpec,
+)
+
+
+def _graph():
+    return pipeline(4, cost_flops=1000.0, payload_bytes=128)
+
+
+def _stream(rate, *, seed=0, **mod):
+    modulation = ModulationSpec(**mod) if mod else ModulationSpec()
+    spec = ArrivalSpec(
+        kind=ArrivalKind.DETERMINISTIC, rate=rate, modulation=modulation
+    )
+    return ArrivalProcess(spec, seed=seed).stream(0.0)
+
+
+BURST = dict(kind=ModulationKind.ONOFF, on_s=0.002, off_s=0.002)
+
+
+class TestOfferedLoad:
+    def test_underloaded_run_reports_offered_utilization(self):
+        graph = _graph()
+        src = graph.sources[0].index
+        r = measure_throughput(
+            graph,
+            laptop(4),
+            QueuePlacement.of([1]),
+            2,
+            warmup_s=0.002,
+            measure_s=0.01,
+            arrivals={src: _stream(10_000.0)},
+        )
+        assert r.open_loop
+        assert not r.deadlocked
+        assert r.offered_utilization >= 0.95
+        assert r.underloaded
+        # Throughput is offered-load-bound, far below capacity.
+        assert r.source_tuples_per_s == pytest.approx(10_000.0, rel=0.15)
+
+    def test_closed_loop_run_is_not_open_loop(self):
+        r = measure_throughput(
+            _graph(),
+            laptop(4),
+            QueuePlacement.of([1]),
+            2,
+            warmup_s=0.002,
+            measure_s=0.01,
+        )
+        assert not r.open_loop
+        assert r.offered_utilization == 1.0
+        assert not r.underloaded
+        assert r.offered_tuples_per_s == 0.0
+
+    def test_saturating_schedule_matches_saturated_throughput(self):
+        # With the due-backlog batched like the saturated fast path, a
+        # schedule that outruns the PE reproduces its measurements.
+        placement = QueuePlacement.of([1])
+        graph = _graph()
+        src = graph.sources[0].index
+        saturated = measure_throughput(
+            graph, laptop(4), placement, 2,
+            warmup_s=0.002, measure_s=0.01,
+        )
+        open_loop = measure_throughput(
+            graph, laptop(4), placement, 2,
+            warmup_s=0.002, measure_s=0.01,
+            arrivals={src: _stream(50_000_000.0)},
+        )
+        assert open_loop.sink_tuples_per_s == pytest.approx(
+            saturated.sink_tuples_per_s, rel=0.01
+        )
+
+
+class TestOverflow:
+    def test_drop_policy_sheds_at_full_queues(self):
+        graph = _graph()
+        src = graph.sources[0].index
+        hub = ObservabilityHub()
+        r = measure_throughput(
+            graph,
+            laptop(4),
+            QueuePlacement.of([1]),
+            2,
+            warmup_s=0.002,
+            measure_s=0.01,
+            queue_capacity=4,
+            arrivals={src: _stream(5_000_000.0, **BURST)},
+            overflow="drop",
+            obs=hub,
+        )
+        assert not r.deadlocked
+        assert r.dropped_tuples > 0
+        assert r.offered_utilization < 0.5
+        # The obs counter spans warmup too, so it dominates the
+        # measured-window count.
+        metric = hub.registry.get("des.dropped_tuples")
+        assert metric is not None
+        assert metric.value >= r.dropped_tuples
+
+    def test_block_policy_absorbs_burst_without_drops(self):
+        graph = _graph()
+        src = graph.sources[0].index
+        r = measure_throughput(
+            graph,
+            laptop(4),
+            QueuePlacement.of([1]),
+            2,
+            warmup_s=0.002,
+            measure_s=0.01,
+            queue_capacity=4,
+            arrivals={src: _stream(5_000_000.0, **BURST)},
+            overflow="block",
+        )
+        # Backpressure, not shedding — and no deadlock against the
+        # event-driven parking path.
+        assert not r.deadlocked
+        assert r.dropped_tuples == 0
+        assert r.sink_tuples_per_s > 0
+
+    def test_drop_without_queues_degrades_to_inline_execution(self):
+        # With no scheduler queues the source region is the whole
+        # graph; there is no ingress queue to overflow, so nothing is
+        # shed even under the drop policy.
+        graph = _graph()
+        src = graph.sources[0].index
+        r = measure_throughput(
+            graph,
+            laptop(4),
+            QueuePlacement.empty(),
+            0,
+            warmup_s=0.002,
+            measure_s=0.01,
+            arrivals={src: _stream(5_000_000.0, **BURST)},
+            overflow="drop",
+        )
+        assert not r.deadlocked
+        assert r.dropped_tuples == 0
+        assert r.sink_tuples_per_s > 0
+
+
+class TestValidation:
+    def test_invalid_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            DesEngine(
+                _graph(),
+                laptop(4),
+                QueuePlacement.empty(),
+                0,
+                overflow="shed",
+            )
+
+    def test_non_source_arrival_key_rejected(self):
+        with pytest.raises(ValueError):
+            DesEngine(
+                _graph(),
+                laptop(4),
+                QueuePlacement.empty(),
+                0,
+                arrivals={2: iter([0.0])},
+            )

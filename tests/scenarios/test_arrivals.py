@@ -1,0 +1,192 @@
+"""Arrival generators: seed determinism and rate-envelope fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.arrivals import ArrivalProcess
+from repro.scenarios.schema import (
+    ArrivalKind,
+    ArrivalSpec,
+    ModulationKind,
+    ModulationSpec,
+)
+
+
+def _proc(arrival_kind, rate, seed=0, **mod):
+    modulation = ModulationSpec(**mod) if mod else ModulationSpec()
+    return ArrivalProcess(
+        ArrivalSpec(kind=arrival_kind, rate=rate, modulation=modulation),
+        seed=seed,
+    )
+
+
+class TestDeterminism:
+    def test_saturated_has_no_schedule(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(ArrivalSpec(kind=ArrivalKind.SATURATED))
+
+    def test_poisson_same_seed_same_stream(self):
+        a = _proc(ArrivalKind.POISSON, 500.0, seed=3).times(0.0, 2.0)
+        b = _proc(ArrivalKind.POISSON, 500.0, seed=3).times(0.0, 2.0)
+        assert a == b
+
+    def test_poisson_different_seed_different_stream(self):
+        a = _proc(ArrivalKind.POISSON, 500.0, seed=3).times(0.0, 2.0)
+        b = _proc(ArrivalKind.POISSON, 500.0, seed=4).times(0.0, 2.0)
+        assert a != b
+
+    def test_deterministic_stream_is_evenly_spaced(self):
+        times = _proc(ArrivalKind.DETERMINISTIC, 1000.0).times(0.0, 1.0)
+        assert len(times) == 999  # first arrival lands at 1/rate
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(abs(g - 0.001) < 1e-9 for g in gaps)
+
+    def test_streams_are_sorted_and_start_after_t0(self):
+        for kind in (ArrivalKind.DETERMINISTIC, ArrivalKind.POISSON):
+            times = _proc(kind, 2000.0, seed=1).times(5.0, 1.0)
+            assert times == sorted(times)
+            assert all(t >= 5.0 for t in times)
+
+
+class TestEnvelopes:
+    def test_deterministic_count_matches_rate_integral(self):
+        times = _proc(ArrivalKind.DETERMINISTIC, 1000.0).times(0.0, 10.0)
+        assert abs(len(times) - 10_000) <= 1
+
+    def test_poisson_count_within_envelope_tolerance(self):
+        times = _proc(ArrivalKind.POISSON, 500.0, seed=0).times(0.0, 2.0)
+        # mean 1000, sd ~32: 5 sigma tolerance
+        assert abs(len(times) - 1000) < 160
+
+    def test_onoff_arrivals_only_in_on_phase(self):
+        proc = _proc(
+            ArrivalKind.DETERMINISTIC,
+            1000.0,
+            kind=ModulationKind.ONOFF,
+            on_s=1.0,
+            off_s=1.0,
+        )
+        times = proc.times(0.0, 4.0)
+        assert abs(len(times) - 2000) <= 2
+        for t in times:
+            assert (t % 2.0) <= 1.0 + 1e-9
+
+    def test_onoff_many_cycles_terminates(self):
+        # Regression: cycle-indexed segments; an accumulated-float
+        # implementation stalls (t + tiny == t) after enough 2ms
+        # cycles and never terminates.
+        proc = _proc(
+            ArrivalKind.DETERMINISTIC,
+            5_000_000.0,
+            kind=ModulationKind.ONOFF,
+            on_s=0.002,
+            off_s=0.002,
+        )
+        times = proc.times(600.0, 0.012)
+        assert abs(len(times) - 30_000) <= 2
+
+    def test_diurnal_mean_and_peak(self):
+        proc = _proc(
+            ArrivalKind.DETERMINISTIC,
+            1000.0,
+            kind=ModulationKind.DIURNAL,
+            period_s=10.0,
+            low_factor=0.2,
+            high_factor=1.0,
+            steps=16,
+        )
+        assert proc.mean_rate() == pytest.approx(600.0, rel=0.01)
+        assert proc.peak_rate() <= 1000.0
+        times = proc.times(0.0, 10.0)  # one full period
+        assert abs(len(times) - 6000) < 80
+
+    def test_diurnal_starts_in_trough(self):
+        proc = _proc(
+            ArrivalKind.DETERMINISTIC,
+            1000.0,
+            kind=ModulationKind.DIURNAL,
+            period_s=10.0,
+            low_factor=0.2,
+            high_factor=1.0,
+            steps=16,
+        )
+        assert proc.rate_at(0.0) < proc.rate_at(5.0)
+
+    def test_flash_crowd_phases(self):
+        proc = _proc(
+            ArrivalKind.DETERMINISTIC,
+            100.0,
+            kind=ModulationKind.FLASH_CROWD,
+            at_s=10.0,
+            ramp_s=2.0,
+            hold_s=5.0,
+            factor=5.0,
+        )
+        before = proc.times(0.0, 10.0)
+        hold = proc.times(12.0, 5.0)
+        after = proc.times(30.0, 10.0)
+        assert abs(len(before) - 1000) <= 2
+        assert abs(len(hold) - 2500) <= 3
+        assert abs(len(after) - 1000) <= 2
+        assert proc.peak_rate() == pytest.approx(500.0)
+        assert proc.mean_rate() == pytest.approx(100.0)
+
+    def test_ramp_transitions_low_to_high(self):
+        proc = _proc(
+            ArrivalKind.DETERMINISTIC,
+            1000.0,
+            kind=ModulationKind.RAMP,
+            at_s=5.0,
+            ramp_s=5.0,
+            low_factor=0.2,
+            high_factor=1.0,
+        )
+        low = proc.times(0.0, 5.0)
+        high = proc.times(20.0, 5.0)
+        assert abs(len(low) - 1000) <= 2
+        assert abs(len(high) - 5000) <= 2
+        assert proc.mean_rate() == pytest.approx(1000.0)
+
+    def test_rate_at_agrees_with_segments(self):
+        proc = _proc(
+            ArrivalKind.POISSON,
+            1000.0,
+            seed=0,
+            kind=ModulationKind.DIURNAL,
+            period_s=8.0,
+            steps=8,
+        )
+        for t in (0.0, 1.0, 3.9, 4.1, 7.99, 123.4):
+            seg_rate = proc.segments(t, 1e-9)[0][2]
+            assert proc.rate_at(t) == seg_rate
+
+
+class TestRestart:
+    def test_mid_phase_restart_preserves_envelope(self):
+        # Restarting inside an off phase: first arrival appears at the
+        # start of the next on phase.
+        proc = _proc(
+            ArrivalKind.DETERMINISTIC,
+            1000.0,
+            kind=ModulationKind.ONOFF,
+            on_s=0.5,
+            off_s=0.5,
+        )
+        times = proc.times(0.75, 1.0)
+        assert times[0] >= 1.0
+        assert abs(len(times) - 500) <= 2
+
+    def test_restart_from_arbitrary_t0_deterministic(self):
+        proc = _proc(ArrivalKind.POISSON, 800.0, seed=9)
+        a = proc.times(42.0, 1.0)
+        b = proc.times(42.0, 1.0)
+        assert a == b
+
+    def test_key_is_hashable_and_spec_sensitive(self):
+        a = _proc(ArrivalKind.POISSON, 100.0, seed=0)
+        b = _proc(ArrivalKind.POISSON, 100.0, seed=1)
+        c = _proc(ArrivalKind.POISSON, 200.0, seed=0)
+        assert hash(a.key())
+        assert a.key() != b.key()
+        assert a.key() != c.key()

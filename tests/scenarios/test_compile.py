@@ -1,0 +1,206 @@
+"""Scenario -> graph/machine/config compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.compile import compile_scenario, compile_topology
+from repro.scenarios.schema import (
+    ScenarioError,
+    scenario_from_dict,
+)
+
+
+def _scenario(**overrides):
+    data = {"name": "t"}
+    data.update(overrides)
+    return scenario_from_dict(data)
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "topology,expected_ops",
+        [
+            ({"shape": "pipeline", "operators": 8}, 10),  # + src + snk
+            ({"shape": "data_parallel", "width": 4}, 6),
+            ({"shape": "mixed", "width": 2, "depth": 3}, 8),
+            ({"shape": "diamond", "width": 4}, 8),
+        ],
+    )
+    def test_generated_shapes_build(self, topology, expected_ops):
+        graph = compile_topology(_scenario(topology=topology).topology)
+        assert len(graph) == expected_ops
+        assert graph.sources and graph.sinks
+
+    def test_tree_builds(self):
+        graph = compile_topology(
+            _scenario(topology={"shape": "tree", "levels": 3}).topology
+        )
+        assert graph.sources and graph.sinks
+
+    def test_diamond_head_broadcasts_to_all_branches(self):
+        graph = compile_topology(
+            _scenario(topology={"shape": "diamond", "width": 3}).topology
+        )
+        rates = graph.arrival_rates()
+        branch_rates = [
+            rates[op.index]
+            for op in graph
+            if op.name.startswith("branch")
+        ]
+        assert branch_rates == [1.0, 1.0, 1.0]
+
+    def test_custom_topology_builds_named_operators(self):
+        c = compile_scenario(
+            _scenario(
+                topology={
+                    "shape": "custom",
+                    "nodes": [
+                        {"name": "src", "kind": "source"},
+                        {"name": "work", "cost_flops": 900.0},
+                        {"name": "snk", "kind": "sink"},
+                    ],
+                    "edges": [["src", "work"], ["work", "snk"]],
+                }
+            )
+        )
+        names = [op.name for op in c.graph]
+        assert names == ["src", "work", "snk"]
+        work = c.graph.operator(1)
+        assert work.cost_flops == 900.0
+
+    def test_structural_errors_become_scenario_errors(self):
+        # A custom graph whose sink feeds another operator is invalid
+        # at build time; the compiler must re-raise under 'topology'.
+        scenario = _scenario(
+            topology={
+                "shape": "custom",
+                "nodes": [
+                    {"name": "a", "kind": "source"},
+                    {"name": "b", "kind": "sink"},
+                    {"name": "c", "kind": "sink"},
+                ],
+                "edges": [["a", "b"], ["b", "c"]],
+            }
+        )
+        with pytest.raises(ScenarioError) as err:
+            compile_scenario(scenario)
+        assert err.value.path == "topology"
+
+    def test_skewed_costs_are_seeded(self):
+        topology = {
+            "shape": "pipeline",
+            "operators": 12,
+            "cost": {"kind": "skewed", "seed": 5},
+        }
+        g1 = compile_topology(_scenario(topology=topology).topology)
+        g2 = compile_topology(_scenario(topology=topology).topology)
+        costs1 = [op.cost_flops for op in g1]
+        assert costs1 == [op.cost_flops for op in g2]
+        assert len(set(costs1)) > 1  # actually skewed
+
+
+class TestPayloadAndMachine:
+    def test_payload_mix_compiles_to_weighted_mean(self):
+        c = compile_scenario(
+            _scenario(
+                workload={
+                    "payload": {
+                        "kind": "mix",
+                        "mix": [
+                            {"payload_bytes": 64, "weight": 3.0},
+                            {"payload_bytes": 1024, "weight": 1.0},
+                        ],
+                    }
+                }
+            )
+        )
+        assert c.graph.tuple_spec.payload_bytes == 304
+
+    def test_fixed_payload_overrides_topology(self):
+        c = compile_scenario(
+            _scenario(
+                topology={"payload_bytes": 128},
+                workload={"payload": {"payload_bytes": 4096}},
+            )
+        )
+        assert c.graph.tuple_spec.payload_bytes == 4096
+
+    def test_laptop_cores_exact_profile(self):
+        c = compile_scenario(_scenario(machine={"profile": "laptop", "cores": 4}))
+        assert c.machine.logical_cores == 4
+        assert c.config.cores == 4
+
+    def test_xeon_with_cores(self):
+        c = compile_scenario(_scenario(machine={"profile": "xeon", "cores": 16}))
+        assert c.machine.logical_cores == 16
+
+    def test_adaptation_period_override(self):
+        c = compile_scenario(_scenario(run={"adaptation_period_s": 2.5}))
+        assert c.config.elasticity.adaptation_period_s == 2.5
+
+
+class TestOpenLoopCompilation:
+    def test_saturated_scenario_has_no_arrival_process(self):
+        c = compile_scenario(_scenario())
+        assert not c.open_loop
+        assert c.arrivals_factory() is None
+        assert c.arrivals_key() is None
+        assert c.arrival_streams() == {}
+        assert all(op.max_rate is None for op in c.graph.sources)
+
+    def test_open_loop_caps_source_rates_at_mean(self):
+        c = compile_scenario(
+            _scenario(
+                workload={
+                    "arrivals": {
+                        "kind": "deterministic",
+                        "rate": 1000.0,
+                        "modulation": {
+                            "kind": "onoff",
+                            "on_s": 1.0,
+                            "off_s": 1.0,
+                        },
+                    }
+                }
+            )
+        )
+        assert c.open_loop
+        assert c.mean_arrival_rate == pytest.approx(500.0)
+        for op in c.graph.sources:
+            assert op.max_rate == pytest.approx(500.0)
+
+    def test_arrival_streams_are_window_relative(self):
+        # The DES restarts its clock at 0 every measurement window;
+        # streams must be offset by t0 while the envelope still tracks
+        # absolute time.
+        c = compile_scenario(
+            _scenario(
+                workload={
+                    "arrivals": {"kind": "deterministic", "rate": 100.0}
+                }
+            )
+        )
+        (stream,) = c.arrival_streams(t0=50.0).values()
+        first = next(stream)
+        assert 0.0 <= first <= 0.011
+
+    def test_arrival_seed_defaults_to_run_seed(self):
+        a = compile_scenario(
+            _scenario(
+                workload={"arrivals": {"kind": "poisson", "rate": 100.0}},
+                run={"seed": 3},
+            )
+        )
+        b = compile_scenario(
+            _scenario(
+                workload={
+                    "arrivals": {"kind": "poisson", "rate": 100.0, "seed": 3}
+                },
+            )
+        )
+        assert a.arrival_process.seed == 3
+        assert b.arrival_process.seed == 3
+        assert a.arrival_process.times(0.0, 1.0) == b.arrival_process.times(
+            0.0, 1.0
+        )

@@ -1,0 +1,125 @@
+"""The scenario zoo: every shipped config validates, runs, and the
+fig07 scenario reproduces the reference decision trace byte for byte."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench import figures
+from repro.scenarios import (
+    compile_scenario,
+    find_scenario,
+    load_compiled,
+    load_scenario,
+    run_scenario,
+    scenario_dir,
+)
+from repro.scenarios.cli import validate_one
+from repro.scenarios.schema import ArrivalKind, ArrivalSpec, ScenarioError
+from repro.scenarios.zoo import scenario_files
+
+ZOO = scenario_files(None)
+
+
+class TestZooIntegrity:
+    def test_zoo_has_at_least_15_scenarios(self):
+        assert len(ZOO) >= 15
+
+    @pytest.mark.parametrize("path", ZOO, ids=lambda p: p.stem)
+    def test_config_validates_and_round_trips(self, path):
+        assert validate_one(path) == []
+
+    def test_names_match_file_stems(self):
+        for path in ZOO:
+            assert load_scenario(path).name == path.stem
+
+    def test_zoo_covers_every_shape_and_modulation(self):
+        scenarios = [load_scenario(p) for p in ZOO]
+        shapes = {s.topology.shape.value for s in scenarios}
+        assert shapes >= {
+            "pipeline",
+            "data_parallel",
+            "mixed",
+            "tree",
+            "diamond",
+            "custom",
+        }
+        modulations = {
+            s.workload.arrivals.modulation.kind.value for s in scenarios
+        }
+        assert modulations >= {"none", "diurnal", "onoff", "flash_crowd", "ramp"}
+
+    def test_find_scenario_by_name(self):
+        path = find_scenario("pipeline-smoke", None)
+        assert path.stem == "pipeline-smoke"
+
+    def test_find_scenario_unknown_lists_names(self):
+        with pytest.raises(ScenarioError) as err:
+            find_scenario("no-such-scenario", None)
+        msg = str(err.value)
+        assert "pipeline-smoke" in msg
+        assert str(scenario_dir(None)) in msg
+
+
+class TestZooExecution:
+    def test_smoke_scenario_runs_on_both_backends(self):
+        results = run_scenario(
+            load_compiled(find_scenario("pipeline-smoke", None))
+        )
+        assert [r.backend for r in results] == ["des", "perfmodel"]
+        for r in results:
+            assert r.converged_throughput > 0
+            assert r.periods > 0
+            assert not r.open_loop
+
+    def test_fig07_scenario_matches_reference_decisions(self):
+        # The zoo's fig07 config must reproduce the exact R1-R5 trace
+        # of the hand-built benchmark — byte-identical decisions.
+        ref = figures.fig07_des_adaptation()
+        res = run_scenario(
+            load_compiled(find_scenario("fig07-pipeline-saturated", None))
+        )[0]
+        assert res.decisions == tuple(ref.decisions)
+        assert res.final_threads == ref.final_threads
+
+    def test_open_loop_saturating_schedule_matches_closed_loop(self):
+        # An open-loop schedule that outruns the PE must produce the
+        # same decision sequence as the implicit saturated source: the
+        # due-backlog batching reproduces the closed-loop event timing.
+        base = load_scenario(find_scenario("fig07-pipeline-saturated", None))
+        short = dataclasses.replace(
+            base, run=dataclasses.replace(base.run, max_periods=60)
+        )
+        closed = run_scenario(compile_scenario(short))[0]
+        saturating = dataclasses.replace(
+            short,
+            workload=dataclasses.replace(
+                short.workload,
+                arrivals=ArrivalSpec(
+                    kind=ArrivalKind.DETERMINISTIC, rate=5e7
+                ),
+            ),
+        )
+        open_res = run_scenario(compile_scenario(saturating))[0]
+        assert open_res.open_loop
+        assert open_res.offered_utilization == pytest.approx(1.0)
+        assert open_res.decisions == closed.decisions
+
+    def test_burst_scenario_overflows_bounded_queues(self):
+        # Acceptance: the ON/OFF burst scenario must demonstrably shed
+        # load at full queues — nonzero drop metrics.
+        res = run_scenario(
+            load_compiled(find_scenario("onoff-burst-overflow", None))
+        )[0]
+        assert res.open_loop
+        assert res.dropped_tuples > 0
+
+    def test_scenario_bench_helper(self):
+        results = figures.scenario_bench(
+            "pipeline-smoke", backend="perfmodel"
+        )
+        assert len(results) == 1
+        assert results[0].backend == "perfmodel"
+        assert results[0].converged_throughput > 0

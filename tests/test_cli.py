@@ -145,3 +145,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "latency ms" in out
         assert "100% dynamic" in out
+
+
+class TestScenarioCommands:
+    def test_scenarios_list_prints_zoo(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline-smoke" in out
+        assert "onoff-burst-overflow" in out
+        assert "saturated" in out
+
+    def test_scenarios_validate_by_name(self, capsys):
+        assert main(["scenarios", "validate", "pipeline-smoke"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_scenarios_validate_reports_offending_field(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(
+            "name: bad\n"
+            "workload:\n"
+            "  arrivals:\n"
+            "    kind: poisson\n"
+            "    rate: -2.0\n"
+        )
+        assert main(["scenarios", "validate", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "workload.arrivals.rate" in captured.out
+        assert "must be > 0" in captured.out
+
+    def test_scenarios_list_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["scenarios", "list", "--dir", str(tmp_path)]) == 1
+        assert "no scenario configs" in capsys.readouterr().err
+
+    def test_bench_runs_named_scenario(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--scenario", "pipeline-smoke",
+                "--backend", "perfmodel",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline-smoke" in out
+        assert "perfmodel" in out
+        assert "converged T/s" in out
+
+    def test_bench_unknown_scenario(self, capsys):
+        assert main(["bench", "--scenario", "no-such"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such" in err
+        assert "pipeline-smoke" in err
