@@ -47,14 +47,23 @@ def record(name: str, text: str) -> None:
     path.write_text(text + "\n")
 
 
-def record_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+def record_json(
+    name: str, payload: Dict[str, Any], merge: bool = False
+) -> pathlib.Path:
     """Persist a machine-readable result as benchmarks/results/<name>.json.
 
     Used for artifacts tooling consumes across PRs (e.g.
-    ``BENCH_des.json``, the DES performance trajectory).
+    ``BENCH_des.json``, the DES performance trajectory).  With
+    ``merge=True`` the payload's top-level keys are merged into the
+    existing file instead of replacing it, so several benchmarks can
+    contribute sections to one artifact regardless of run order.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
+    if merge and path.exists():
+        existing = json.loads(path.read_text())
+        existing.update(payload)
+        payload = existing
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {path}")
     return path

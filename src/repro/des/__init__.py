@@ -1,7 +1,9 @@
 """Discrete-event simulation substrate (tuple-level validation)."""
 
 from .adaptation import DesAdaptationResult, DesAdaptationRunner
+from .channels import DEFAULT_CHANNEL, ChannelConfig
 from .engine import DesEngine, DesResult, measure_throughput
+from .fastforward import FastForwarder
 from .kernel import (
     Acquire,
     Get,
@@ -16,10 +18,13 @@ from .kernel import (
 )
 
 __all__ = [
+    "ChannelConfig",
+    "DEFAULT_CHANNEL",
     "DesAdaptationResult",
     "DesAdaptationRunner",
     "DesEngine",
     "DesResult",
+    "FastForwarder",
     "measure_throughput",
     "Acquire",
     "Get",

@@ -60,6 +60,7 @@ from ..runtime.events import (
     ThreadCountChange,
 )
 from ..runtime.queues import QueuePlacement
+from .channels import DEFAULT_CHANNEL, ChannelConfig
 from .engine import DesEngine
 
 # Profiler wake-ups per measured window: enough samples that every
@@ -98,6 +99,7 @@ class DesAdaptationRunner:
         arrivals_factory=None,  # t0 -> {source_index: Iterator[float]}
         arrivals_key: Optional[Tuple] = None,
         overflow: str = "block",
+        channel: Optional[ChannelConfig] = None,
     ) -> None:
         """``arrivals_factory`` makes measurement periods *open-loop*:
         each period's engine gets fresh arrival streams starting at the
@@ -106,7 +108,10 @@ class DesAdaptationRunner:
         ``arrivals_key`` is the process's hashable identity for the
         measurement cache — without it open-loop periods are never
         memoized (two factories cannot be proven equivalent).
-        ``overflow`` is the ingress policy (see :class:`DesEngine`).
+        ``overflow`` is the ingress policy and ``channel`` the batched
+        channel configuration every period's engine runs under (see
+        :class:`DesEngine`); the channel is part of the measurement
+        cache key, so differently-batched runs never share cells.
         """
         self.graph = graph
         self._workload_events = sorted(
@@ -144,6 +149,7 @@ class DesAdaptationRunner:
         self._arrivals_factory = arrivals_factory
         self._arrivals_key = arrivals_key
         self._overflow = overflow
+        self._channel = channel if channel is not None else DEFAULT_CHANNEL
         # Simulated start time of the period being measured; drives the
         # arrival envelope under open-loop workloads.
         self._period_t0 = 0.0
@@ -189,6 +195,7 @@ class DesAdaptationRunner:
             profiled,
             self.sampled_profiling if profiled else None,
             self._profiler_period_s if profiled else None,
+            self._channel.key(),
         )
         if self._open_loop:
             # The same configuration under a different envelope phase
@@ -209,6 +216,7 @@ class DesAdaptationRunner:
             obs=self._hub,
             arrivals=arrivals,
             overflow=self._overflow,
+            channel=self._channel,
         )
 
     def _run_profiled(self, sampled: bool) -> Tuple[DesEngine, CostProfile]:

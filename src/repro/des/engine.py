@@ -54,12 +54,16 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, Generator, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..graph.model import StreamGraph
 from ..obs.hub import Obs, ensure_hub
 from ..perfmodel.machine import MachineProfile
 from ..runtime.queues import QueuePlacement
 from ..runtime.regions import Region, decompose
 from ..runtime.threads import SnapshotProfiler, ThreadRegistry
+from .channels import DEFAULT_CHANNEL, ChannelConfig
+from .fastforward import FastForwarder
 from .kernel import (
     Acquire,
     Get,
@@ -82,12 +86,13 @@ _IDLE_BACKOFF_S = 2.0e-6
 # event per claim.  Fairness over a measurement window is preserved:
 # a slice is ~tens of simulated µs, far below the millisecond windows.
 _CORE_SLICE = 32
-# Tuples a scheduler thread may drain from a claimed port in one go
-# (real runtimes drain bursts to amortize work-finding).  Each tuple
-# still pays the full per-tuple cost (scan + pop sync + work + push),
-# so simulated time is identical to draining one at a time; batching
-# only coalesces the simulator events.
-_CLAIM_BATCH = 8
+# Burst sizes (tuples a source emits / a scheduler thread drains per
+# coalesced event) are governed by the engine's ChannelConfig — see
+# repro.des.channels.  Each tuple in a burst still pays the full
+# per-tuple cost (scan + pop sync + work + push), so simulated time is
+# identical to moving one tuple at a time; batching only coalesces the
+# simulator events.  DEFAULT_CHANNEL.batch_size (8) reproduces the
+# historical _CLAIM_BATCH behaviour exactly.
 
 # Processes may yield kernel Request objects or bare float delays.
 _Req = Generator[object, object, None]
@@ -121,6 +126,16 @@ class _RegionPlan:
     the scan + pop-synchronization cost into the first operator's
     segment, exactly as the fine-grained path merges the seeded
     ``pending`` delay into the first operator's timeout.
+
+    ``burst_src``/``burst_sched`` are the batched channels' cost
+    tables: ``burst_*[b]`` is the simulated span of one coalesced event
+    carrying ``b`` tuples end-to-end (operator work + push copy, plus
+    scan + pop synchronization on the scheduler variant), accumulated
+    from the per-tuple cost so every tuple in a burst pays its full
+    price.  ``max_burst_src``/``max_burst_sched`` are the channel's
+    burst caps for this region — batch size further bounded by the
+    flush timeout at this region's per-tuple cost (the tables stop
+    there, so an out-of-range lookup is a bug, not a silent error).
     """
 
     ops: Tuple[Tuple[int, float, Optional[SimLock], float], ...]
@@ -132,6 +147,10 @@ class _RegionPlan:
     prof_ops: Optional[Tuple[Optional[int], ...]] = None
     prof_bounds_src: Optional[Tuple[float, ...]] = None
     prof_bounds_sched: Optional[Tuple[float, ...]] = None
+    burst_src: Tuple[float, ...] = (0.0,)
+    burst_sched: Tuple[float, ...] = (0.0,)
+    max_burst_src: int = 1
+    max_burst_sched: int = 1
 
 
 @dataclass(frozen=True)
@@ -207,6 +226,7 @@ class DesEngine:
         obs: Optional[Obs] = None,
         arrivals: Optional[Dict[int, Iterator[float]]] = None,
         overflow: str = "block",
+        channel: Optional[ChannelConfig] = None,
     ) -> None:
         """``arrivals`` maps source operator index -> an **infinite**
         iterator of absolute arrival times (simulation seconds), making
@@ -217,7 +237,11 @@ class DesEngine:
         an open-loop source does when its ingress queue is full:
         ``"block"`` (stall behind backpressure, the closed-loop
         behaviour) or ``"drop"`` (shed the arrival and count it in
-        ``des.dropped_tuples``).
+        ``des.dropped_tuples``).  ``channel`` configures the batched
+        channels (burst size, flush timeout, prefetch, analytic
+        fast-forward — see :class:`~repro.des.channels.ChannelConfig`);
+        ``None`` means :data:`~repro.des.channels.DEFAULT_CHANNEL`,
+        byte-compatible with historical runs.
         """
         if scheduler_threads < 0:
             raise ValueError(
@@ -232,6 +256,7 @@ class DesEngine:
         self.placement = placement
         self.scheduler_threads = scheduler_threads
         self.queue_capacity = queue_capacity
+        self.channel = channel if channel is not None else DEFAULT_CHANNEL
         self.decomposition = decompose(graph, placement)
 
         self.sim = Simulator()
@@ -282,6 +307,11 @@ class DesEngine:
         self._profiler_period: Optional[float] = None
         self._profiler_sampled = True
         self._started = False
+        # Analytic fast-forward (built in start() when eligible) and
+        # the fixed object orders its state/counter snapshots walk.
+        self._ff: Optional[FastForwarder] = None
+        self._ff_queues: Tuple[SimQueue, ...] = ()
+        self._ff_locks: Tuple[SimLock, ...] = ()
         # Tuple-path metrics, bound once here; with no hub attached
         # these are the shared null singletons (one no-op call per
         # event), so detached runs measure identically.
@@ -321,6 +351,19 @@ class DesEngine:
         self._m_dropped = hub.registry.counter(
             "des.dropped_tuples",
             "open-loop arrivals shed at a full ingress queue",
+        )
+        self._m_batch_size = hub.registry.gauge(
+            "des.batch_size",
+            "configured channel batch size (tuples per coalesced event)",
+        )
+        self._m_batch_size.set(float(self.channel.batch_size))
+        self._m_batch_flushes = hub.registry.counter(
+            "des.batch_flushes",
+            "coalesced burst events flushed through batched channels",
+        )
+        self._m_ff_saved = hub.registry.counter(
+            "des.analytic_fastforward_events_saved",
+            "simulator events elided by analytic fast-forwarding",
         )
 
     # ------------------------------------------------------------------
@@ -398,11 +441,47 @@ class DesEngine:
                 prof_ops = tuple(seg_ops)
                 prof_bounds_src = tuple(bounds_src)
                 prof_bounds_sched = tuple(bounds_sched)
+        flat_dt = sum(dt for _i, dt, _l, _s in ops_t)
+        # Batched-channel cost tables: burst_*[b] = simulated span of
+        # one coalesced event carrying b tuples, accumulated from the
+        # per-tuple cost (numpy running sum — identical arithmetic to
+        # summing tuple by tuple, so a burst of b costs exactly what b
+        # single-tuple events would).  The channel's flush timeout caps
+        # the burst wherever carrying one more tuple would stretch the
+        # event past the flush horizon.
+        channel = self.channel
+        max_src = 1
+        max_sched = 1
+        burst_src: Tuple[float, ...] = (0.0, flat_dt)
+        burst_sched: Tuple[float, ...] = (0.0, flat_dt)
+        if fast:
+            push_cost_fast = pushes[0][3] if pushes else 0.0
+            tup_src = flat_dt + push_cost_fast
+            tup_sched = (
+                machine.scan_time(len(self._queue_order))
+                + machine.lock_uncontended_s
+                + flat_dt
+                + push_cost_fast
+            )
+            max_src = channel.max_burst(tup_src)
+            max_sched = channel.max_burst(tup_sched)
+            burst_src = (
+                0.0,
+                *np.add.accumulate(
+                    np.full(max_src, tup_src, dtype=np.float64)
+                ).tolist(),
+            )
+            burst_sched = (
+                0.0,
+                *np.add.accumulate(
+                    np.full(max_sched, tup_sched, dtype=np.float64)
+                ).tolist(),
+            )
         return _RegionPlan(
             ops=ops_t,
             pushes=pushes,
             fast=fast,
-            flat_dt=sum(dt for _i, dt, _l, _s in ops_t),
+            flat_dt=flat_dt,
             sink_total=sum(s for _i, _dt, _l, s in ops_t),
             push=(
                 (pushes[0][0], pushes[0][1][1], pushes[0][3])
@@ -412,6 +491,10 @@ class DesEngine:
             prof_ops=prof_ops,
             prof_bounds_src=prof_bounds_src,
             prof_bounds_sched=prof_bounds_sched,
+            burst_src=burst_src,
+            burst_sched=burst_sched,
+            max_burst_src=max_src,
+            max_burst_sched=max_sched,
         )
 
     def _region_work(
@@ -578,20 +661,25 @@ class DesEngine:
                 slice_left = _CORE_SLICE
             if plan.fast and fast_ok:
                 # One event per emitted burst: operator work and push
-                # copies advance together, then the enqueues happen
-                # synchronously.  A paced source emits one tuple per
-                # due time; an unpaced one emits a burst per event.
-                b = 1 if min_interval else min(_CLAIM_BATCH, slice_left)
+                # copies advance together (burst_src cost table), then
+                # the enqueues happen synchronously.  A paced source
+                # emits one tuple per due time; an unpaced one emits a
+                # channel-batch burst per event.
+                b = (
+                    1
+                    if min_interval
+                    else min(plan.max_burst_src, slice_left)
+                )
                 slice_left -= b
-                dt = b * plan.flat_dt
+                dt = plan.burst_src[b]
+                self._m_batch_flushes.inc()
                 if publish is not None and prof_bounds is not None:
                     publish.set_interval(
                         name, sim.now, prof_bounds, prof_ops, b
                     )
                 push = plan.push
                 if push is not None:
-                    queue, queue_op, push_cost = push
-                    dt += b * push_cost
+                    queue, queue_op, _push_cost = push
                     busy_s[name] = busy_s.get(name, 0.0) + dt
                     yield dt
                     for _ in range(b):
@@ -702,7 +790,7 @@ class DesEngine:
                 b = 1
                 if not drop:
                     # Admit the due backlog as one burst (see above).
-                    b_max = min(_CLAIM_BATCH, slice_left)
+                    b_max = min(plan.max_burst_src, slice_left)
                     while b < b_max:
                         try:
                             nxt = next(arrivals)
@@ -715,15 +803,15 @@ class DesEngine:
                         self._offered_count += 1.0
                         self._m_offered.inc()
                 slice_left -= b
-                dt = b * plan.flat_dt
+                dt = plan.burst_src[b]
+                self._m_batch_flushes.inc()
                 if publish is not None and prof_bounds is not None:
                     publish.set_interval(
                         name, sim.now, prof_bounds, prof_ops, b
                     )
                 push = plan.push
                 if push is not None:
-                    queue, queue_op, push_cost = push
-                    dt += b * push_cost
+                    queue, queue_op, _push_cost = push
                     busy_s[name] = busy_s.get(name, 0.0) + dt
                     yield dt
                     for _ in range(b):
@@ -761,6 +849,7 @@ class DesEngine:
         n = len(order)
         scan = self.machine.scan_time(n)
         lock_s = self.machine.lock_uncontended_s
+        prefetch = self.channel.prefetch
         fast_ok = self.profiler is None or self._profiler_sampled
         # Interval publication keeps snapshot attribution working on
         # merged advances (see _RegionPlan.prof_*).
@@ -837,46 +926,63 @@ class DesEngine:
             sim.pop_nowait(queue)
             if fast_ok and plan.fast:
                 # Whole-claim fast path: scan + pop sync + operator
-                # work + push copy advance as ONE simulator event,
-                # then the downstream enqueue happens synchronously.
-                # The thread drains a burst while it holds the port
-                # (each tuple pays the full per-tuple cost).
-                k = len(queue.items) + 1
-                if k > _CLAIM_BATCH:
-                    k = _CLAIM_BATCH
-                if k > slice_left:
-                    k = slice_left
-                for _ in range(k - 1):
+                # work + push copy advance as ONE simulator event
+                # (burst_sched cost table), then the downstream
+                # enqueues happen synchronously.  The thread drains a
+                # burst while it holds the port (each tuple pays the
+                # full per-tuple cost); with channel prefetch it may
+                # drain further batches from the claimed port before
+                # rescanning — fewer events, at the price of strict
+                # round-robin work-finding fidelity.
+                bursts_left = prefetch
+                while True:
+                    k = len(queue.items) + 1
+                    if k > plan.max_burst_sched:
+                        k = plan.max_burst_sched
+                    if k > slice_left:
+                        k = slice_left
+                    for _ in range(k - 1):
+                        sim.pop_nowait(queue)
+                    slice_left -= k
+                    dt = plan.burst_sched[k]
+                    self._m_batch_flushes.inc()
+                    if (
+                        publish is not None
+                        and plan.prof_bounds_sched is not None
+                    ):
+                        publish.set_interval(
+                            name,
+                            sim.now,
+                            plan.prof_bounds_sched,
+                            plan.prof_ops,
+                            k,
+                        )
+                    push = plan.push
+                    if push is not None:
+                        pqueue, pqueue_op, _push_cost = push
+                        busy_s[name] = busy_s.get(name, 0.0) + dt
+                        yield dt
+                        for _ in range(k):
+                            if sim.put_nowait(pqueue, _TOKEN):
+                                self._m_pushes.inc()
+                            else:
+                                yield from self._push_with_help(
+                                    pqueue_op, pqueue, name
+                                )
+                    else:
+                        busy_s[name] = busy_s.get(name, 0.0) + dt
+                        yield dt
+                    if plan.sink_total:
+                        self._sink_count += plan.sink_total * k
+                        self._m_sink.inc(plan.sink_total * k)
+                    if (
+                        bursts_left <= 0
+                        or slice_left <= 0
+                        or not queue.items
+                    ):
+                        break
+                    bursts_left -= 1
                     sim.pop_nowait(queue)
-                slice_left -= k
-                dt = k * (scan + lock_s + plan.flat_dt)
-                if publish is not None and plan.prof_bounds_sched is not None:
-                    publish.set_interval(
-                        name,
-                        sim.now,
-                        plan.prof_bounds_sched,
-                        plan.prof_ops,
-                        k,
-                    )
-                push = plan.push
-                if push is not None:
-                    pqueue, pqueue_op, push_cost = push
-                    dt += k * push_cost
-                    busy_s[name] = busy_s.get(name, 0.0) + dt
-                    yield dt
-                    for _ in range(k):
-                        if sim.put_nowait(pqueue, _TOKEN):
-                            self._m_pushes.inc()
-                        else:
-                            yield from self._push_with_help(
-                                pqueue_op, pqueue, name
-                            )
-                else:
-                    busy_s[name] = busy_s.get(name, 0.0) + dt
-                    yield dt
-                if plan.sink_total:
-                    self._sink_count += plan.sink_total * k
-                    self._m_sink.inc(plan.sink_total * k)
             else:
                 slice_left -= 1
                 yield from self._region_work(
@@ -971,6 +1077,103 @@ class DesEngine:
                 )
         if self.profiler is not None:
             self.sim.spawn(self._profiler_proc(), name="profiler")
+        # Analytic fast-forward engages only for closed-loop unprofiled
+        # runs: an arrival iterator is external state a clock shift
+        # cannot advance, and a profiler must observe every sampling
+        # period — extrapolating over skipped stretches would leave
+        # holes in its attribution.
+        if (
+            self.channel.fastforward
+            and not self._arrivals
+            and self.profiler is None
+        ):
+            self._ff_queues = (
+                tuple(self._queues[i] for i in self._queue_order)
+                + (self._core_pool,)
+            )
+            self._ff_locks = tuple(self._op_locks.values()) + tuple(
+                self._region_locks[i] for i in self._queue_order
+            )
+            self._ff = FastForwarder(self)
+
+    # ------------------------------------------------------------------
+    # analytic fast-forward hooks (see repro.des.fastforward)
+    # ------------------------------------------------------------------
+    def _run_until(self, t_end: float) -> None:
+        """Advance to ``t_end`` — through the fast-forwarder when one
+        is attached, at plain event granularity otherwise."""
+        if self._ff is not None:
+            self._ff.run_window(t_end)
+        else:
+            self.sim.run_until(t_end)
+
+    def _ff_counters(self) -> Tuple:
+        """Snapshot of every monotone counter steady execution advances.
+
+        The queue/lock integer counters come back as numpy vectors so
+        the extrapolation below is one vectorized scale-and-add per
+        family instead of a Python loop per object.
+        """
+        return (
+            self._sink_count,
+            self._source_count,
+            np.array(
+                [q.total_put for q in self._ff_queues], dtype=np.int64
+            ),
+            np.array(
+                [q.total_got for q in self._ff_queues], dtype=np.int64
+            ),
+            np.array(
+                [lk.acquisitions for lk in self._ff_locks],
+                dtype=np.int64,
+            ),
+            dict(self._busy_s),
+        )
+
+    def _ff_extrapolate(
+        self, before: Tuple, after: Tuple, scale: float, saved: int
+    ) -> None:
+        """Advance every counter analytically by ``scale`` probe spans.
+
+        ``before``/``after`` bracket the confirmation probes of a
+        settled window; each counter moves by its probe delta times
+        ``scale`` (the remaining window span over the probe span) —
+        the steady rate extended over the skipped stretch.  Integer
+        counters round to the nearest whole event.  Event-counting
+        observability metrics (idle scans, wakeups, batch flushes)
+        intentionally keep counting *executed* events only —
+        ``des.analytic_fastforward_events_saved`` accounts for the
+        elided ones.
+        """
+        d_sink = scale * (after[0] - before[0])
+        d_source = scale * (after[1] - before[1])
+        self._sink_count += d_sink
+        self._source_count += d_source
+        if d_sink:
+            self._m_sink.inc(d_sink)
+        if d_source:
+            self._m_source.inc(d_source)
+        d_put = np.rint(scale * (after[2] - before[2])).astype(np.int64)
+        d_got = np.rint(scale * (after[3] - before[3])).astype(np.int64)
+        d_acq = np.rint(scale * (after[4] - before[4])).astype(np.int64)
+        core_pool = self._core_pool
+        d_pushes = 0
+        for q, dp, dg in zip(self._ff_queues, d_put, d_got):
+            q.total_put += int(dp)
+            q.total_got += int(dg)
+            if q is not core_pool:
+                d_pushes += int(dp)
+        if d_pushes:
+            self._m_pushes.inc(d_pushes)
+        for lk, da in zip(self._ff_locks, d_acq):
+            lk.acquisitions += int(da)
+        busy_s = self._busy_s
+        busy0 = before[5]
+        for name, b1 in after[5].items():
+            delta = b1 - busy0.get(name, 0.0)
+            if delta:
+                busy_s[name] = busy_s.get(name, 0.0) + scale * delta
+        self._m_ff_saved.inc(saved)
 
     # ------------------------------------------------------------------
     def run(
@@ -985,14 +1188,14 @@ class DesEngine:
         """
         if not self._started:
             self.start()
-        self.sim.run_until(self.sim.now + warmup_s)
+        self._run_until(self.sim.now + warmup_s)
         self._sink_count = 0.0
         self._source_count = 0.0
         self._offered_count = 0.0
         self._dropped_count = 0.0
         self._busy_s.clear()
         start = self.sim.now
-        self.sim.run_until(start + measure_s)
+        self._run_until(start + measure_s)
         window = self.sim.now - start
         occupancy = tuple(
             (idx, len(q)) for idx, q in sorted(self._queues.items())
@@ -1031,11 +1234,12 @@ def measure_throughput(
     obs: Optional[Obs] = None,
     arrivals: Optional[Dict[int, Iterator[float]]] = None,
     overflow: str = "block",
+    channel: Optional[ChannelConfig] = None,
 ) -> DesResult:
     """Convenience wrapper: build, run and measure one configuration.
 
-    ``arrivals``/``overflow`` make the run open-loop (see
-    :class:`DesEngine`).  Historically every caller assumed saturated
+    ``arrivals``/``overflow`` make the run open-loop, ``channel``
+    configures the batched channels (see :class:`DesEngine`).  Historically every caller assumed saturated
     sources, so low throughput always meant contention; for an
     underloaded open-loop run the result instead carries
     ``offered_tuples_per_s`` / ``offered_utilization`` so callers can
@@ -1056,6 +1260,7 @@ def measure_throughput(
         obs=obs,
         arrivals=arrivals,
         overflow=overflow,
+        channel=channel,
     )
     result = engine.run(warmup_s=warmup_s, measure_s=measure_s)
     if result.deadlocked:

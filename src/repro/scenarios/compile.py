@@ -39,6 +39,7 @@ from ..graph.model import (
     StreamGraph,
     TupleSpec,
 )
+from ..des.channels import ChannelConfig
 from ..graph.topologies import bushy, data_parallel, mixed, pipeline
 from ..perfmodel.machine import MachineProfile, laptop, power8_184, xeon_176
 from ..runtime.config import ElasticityConfig, RuntimeConfig
@@ -67,6 +68,7 @@ class CompiledScenario:
     machine: MachineProfile
     config: RuntimeConfig
     arrival_process: Optional[ArrivalProcess]
+    channel: ChannelConfig = ChannelConfig()
 
     @property
     def open_loop(self) -> bool:
@@ -323,12 +325,25 @@ def compile_scenario(scenario: Scenario) -> CompiledScenario:
         process = ArrivalProcess(spec=arrivals, seed=seed)
         graph = _cap_source_rates(graph, process.mean_rate())
 
+    ch = scenario.channel
+    channel = ChannelConfig(
+        batch_size=ch.batch_size,
+        flush_timeout_s=(
+            ch.flush_timeout_ms / 1000.0
+            if ch.flush_timeout_ms is not None
+            else None
+        ),
+        prefetch=ch.prefetch,
+        fastforward=ch.fastforward,
+    )
+
     return CompiledScenario(
         scenario=scenario,
         graph=graph,
         machine=machine,
         config=config,
         arrival_process=process,
+        channel=channel,
     )
 
 

@@ -85,6 +85,7 @@ def run_on_des(
         arrivals_factory=compiled.arrivals_factory(),
         arrivals_key=compiled.arrivals_key(),
         overflow=compiled.overflow,
+        channel=compiled.channel,
     )
     result = runner.run(
         max_periods=run.max_periods,

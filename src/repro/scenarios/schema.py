@@ -25,6 +25,8 @@ Layers
 - :class:`MachineSpec` — named machine profile + core count.
 - :class:`RunSpec` — backend, seed, measurement windows, queue
   capacity and overflow policy.
+- :class:`ChannelSpec` — DES batched-channel knobs (batch size, flush
+  timeout, prefetch, analytic fast-forward).
 """
 
 from __future__ import annotations
@@ -257,6 +259,29 @@ class WorkloadSpec:
 
 
 # ----------------------------------------------------------------------
+# channel
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Batched-channel configuration for the DES backend.
+
+    Mirrors :class:`repro.des.channels.ChannelConfig`: ``batch_size``
+    tuples move per coalesced simulator event, ``flush_timeout_ms``
+    bounds the simulated span one burst event may cover (``None``
+    leaves the batch size as the only bound), ``prefetch`` lets a
+    scheduler thread drain extra batches from a claimed port before
+    rescanning (trades work-finding fidelity for fewer events), and
+    ``fastforward`` enables analytic fast-forwarding of settled
+    windows.  The defaults are byte-compatible with historical runs.
+    """
+
+    batch_size: int = 8
+    flush_timeout_ms: Optional[float] = None
+    prefetch: int = 0
+    fastforward: bool = False
+
+
+# ----------------------------------------------------------------------
 # machine + run settings
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -297,6 +322,7 @@ class Scenario:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     machine: MachineSpec = field(default_factory=MachineSpec)
     run: RunSpec = field(default_factory=RunSpec)
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
 
 
 FORMAT_VERSION = 1
@@ -763,6 +789,41 @@ def _workload_from_dict(data: Any, path: str) -> WorkloadSpec:
     )
 
 
+def _channel_from_dict(data: Any, path: str) -> ChannelSpec:
+    data = _mapping(data, path)
+    _check_keys(
+        data,
+        path,
+        ("batch_size", "flush_timeout_ms", "prefetch", "fastforward"),
+    )
+    return ChannelSpec(
+        batch_size=_number(
+            data.get("batch_size", 8),
+            f"{path}.batch_size",
+            integer=True,
+            minimum=1,
+        ),
+        flush_timeout_ms=(
+            _number(
+                data["flush_timeout_ms"],
+                f"{path}.flush_timeout_ms",
+                positive=True,
+            )
+            if data.get("flush_timeout_ms") is not None
+            else None
+        ),
+        prefetch=_number(
+            data.get("prefetch", 0),
+            f"{path}.prefetch",
+            integer=True,
+            nonnegative=True,
+        ),
+        fastforward=_bool(
+            data.get("fastforward", False), f"{path}.fastforward"
+        ),
+    )
+
+
 def _machine_from_dict(data: Any, path: str) -> MachineSpec:
     data = _mapping(data, path)
     _check_keys(data, path, ("profile", "cores"))
@@ -874,6 +935,7 @@ def scenario_from_dict(data: Any) -> Scenario:
             "workload",
             "machine",
             "run",
+            "channel",
         ),
     )
     version = data.get("version", FORMAT_VERSION)
@@ -898,6 +960,7 @@ def scenario_from_dict(data: Any) -> Scenario:
         workload=_workload_from_dict(data.get("workload", {}), "workload"),
         machine=_machine_from_dict(data.get("machine", {}), "machine"),
         run=_run_from_dict(data.get("run", {}), "run"),
+        channel=_channel_from_dict(data.get("channel", {}), "channel"),
     )
 
 

@@ -236,6 +236,7 @@ class TestRoundTrip:
             "description",
             "topology",
             "workload",
+            "channel",
             "machine",
             "run",
         }
