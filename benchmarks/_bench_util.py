@@ -14,6 +14,11 @@ import pathlib
 from typing import Any, Callable, Dict, TypeVar
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+# Repo root, where the BENCH_* perf-trajectory artifacts are mirrored
+# for quick inspection.  benchmarks/results/ is the canonical copy
+# (CI uploads from there); the root copy is always script-written,
+# never hand-edited, so the two cannot drift.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 T = TypeVar("T")
 
@@ -57,6 +62,9 @@ def record_json(
     ``merge=True`` the payload's top-level keys are merged into the
     existing file instead of replacing it, so several benchmarks can
     contribute sections to one artifact regardless of run order.
+
+    ``BENCH_*`` artifacts are additionally mirrored to the repo root;
+    the ``benchmarks/results/`` copy stays canonical.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
@@ -64,6 +72,9 @@ def record_json(
         existing = json.loads(path.read_text())
         existing.update(payload)
         payload = existing
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path.write_text(text)
     print(f"\nwrote {path}")
+    if name.startswith("BENCH"):
+        (REPO_ROOT / f"{name}.json").write_text(text)
     return path

@@ -1,0 +1,115 @@
+"""Multi-PE job executor benchmark: replica sweep into a locked sink.
+
+The data-parallel scaling claim of the job layer, measured on the
+tuple-level DES: a heavy worker PE replicated 1..8 ways behind a
+shuffle channel, feeding a lock-serialized sink PE.  Throughput must
+grow monotonically with the replica count until the sink channel
+saturates, then plateau -- the cross-PE analogue of the paper's
+Fig. 8(b) locked-merge ceiling.
+
+Emits the ``multi_pe`` section of ``benchmarks/results/BENCH_des.json``
+(CI perf-smoke runs this file, so the sweep is tracked per PR).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_util import record, record_json, run_once
+
+from repro.bench import cache
+from repro.graph.builder import GraphBuilder
+from repro.job.executor import JobAdaptationRunner
+from repro.job.graph import build_job_graph
+from repro.perfmodel.machine import laptop
+from repro.runtime.config import RuntimeConfig
+from repro.scenarios.schema import (
+    PartitionSpec,
+    PartitionStrategy,
+    PeSpec,
+)
+
+REPLICAS = (1, 2, 4, 6, 8)
+CORES = 4
+SEED = 21
+MAX_PERIODS = 10
+
+
+def _run_sweep():
+    """Converged job throughput per worker replica count."""
+    sweep = {}
+    for reps in REPLICAS:
+        cache.clear()
+        b = GraphBuilder()
+        src = b.add_source("src", cost_flops=50.0)
+        work = b.add_operator("work", cost_flops=6000.0)
+        snk = b.add_sink("snk", cost_flops=1500.0)
+        b.chain(src, work, snk)
+        pes = (
+            PeSpec(name="ingest", operators=("src",)),
+            PeSpec(name="worker", operators=("work",), replicas=reps),
+            PeSpec(name="sinkpe", operators=("snk",)),
+        )
+        job = build_job_graph(
+            b.build(),
+            pes,
+            PartitionSpec(strategy=PartitionStrategy.SHUFFLE),
+        )
+        runner = JobAdaptationRunner(
+            job,
+            laptop(CORES),
+            RuntimeConfig(seed=SEED),
+            warmup_s=0.001,
+            measure_s=0.004,
+        )
+        result = runner.run(
+            max_periods=MAX_PERIODS, stop_after_stable_periods=4
+        )
+        sweep[reps] = result.converged_throughput
+    return sweep
+
+
+def test_multi_pe_replica_sweep(benchmark):
+    """1..8 worker replicas: monotone throughput, then a sink ceiling."""
+    t0 = time.perf_counter()
+    sweep = run_once(benchmark, _run_sweep)
+    wall = time.perf_counter() - t0
+
+    record_json(
+        "BENCH_des",
+        {
+            "multi_pe": {
+                "scenario": (
+                    "src(50) -> work(6000) x R -> snk(1500, locked) | "
+                    "shuffle channels | laptop(4 cores) | "
+                    f"seed {SEED}"
+                ),
+                "replica_sweep_tuples_per_s": {
+                    str(r): round(t, 1) for r, t in sweep.items()
+                },
+                "wall_s": round(wall, 4),
+            }
+        },
+        merge=True,
+    )
+    lines = ["Multi-PE replica sweep (shuffle into locked sink)"]
+    for r, t in sweep.items():
+        lines.append(f"  R={r}  {t:12,.0f} tuples/s")
+    record("multi_pe_replica_sweep", "\n".join(lines))
+
+    rates = [sweep[r] for r in REPLICAS]
+    # Early scaling is real: doubling the workers from 1 to 2 must
+    # pay off close to linearly.
+    assert sweep[2] > 1.5 * sweep[1]
+    # Monotone until the ceiling: no replica step may lose throughput
+    # beyond measurement jitter.
+    for lo, hi in zip(rates, rates[1:]):
+        assert hi >= 0.97 * lo, (
+            f"throughput regressed along the sweep: {rates}"
+        )
+    # The sink channel caps the job well below linear scaling: the
+    # last doubling (4 -> 8 replicas) must yield almost nothing.
+    assert sweep[8] < 1.15 * sweep[4], (
+        f"expected a sink-contention plateau by R=4, got {sweep}"
+    )
+    assert sweep[8] < 0.6 * 8 * sweep[1]

@@ -78,6 +78,13 @@ class DesAdaptationResult:
     final_threads: int
     converged_throughput: float
 
+    @property
+    def final_n_queues(self) -> int:
+        """Queue count of the final placement (the
+        :class:`~repro.runtime.backend.AdaptationBackend` shape —
+        perfmodel results carry the same field)."""
+        return self.final_placement.n_queues
+
 
 class DesAdaptationRunner:
     """Runs the multi-level coordinator against the DES engine."""
@@ -156,6 +163,21 @@ class DesAdaptationRunner:
         # Offered-load utilization of the last measured period (1.0
         # when closed-loop); see DesResult.offered_utilization.
         self.last_offered_utilization = 1.0
+        # Mean thread-busy fraction of the last measured period; the
+        # job-level coordinator reads it to judge scale-in headroom.
+        self.last_mean_utilization = 0.0
+        # Admitted source rate (tuples/s) of the last measured period.
+        # Under the ``block`` overflow policy the engine's own
+        # offered_utilization is blind to backpressure (a stalled
+        # source stops *pulling* the schedule, so offered ≈ admitted);
+        # the job executor compares this rate against the ingress rate
+        # it installed to recover the true shortfall.
+        self.last_source_rate = 0.0
+        # Per-run stepping state (begin_run/step_period); run() drives
+        # these, and the multi-PE job executor drives them directly to
+        # interleave periods across PEs.
+        self.trace = AdaptationTrace.empty()
+        self._events_left: List[tuple] = []
         self._m_offered_util = self._hub.registry.gauge(
             "des.offered_utilization",
             "fraction of the offered open-loop load the PE admitted "
@@ -301,9 +323,94 @@ class DesAdaptationRunner:
         # utilization rather than letting a low absolute throughput be
         # mistaken for contention by whoever reads the trace.
         self.last_offered_utilization = result.offered_utilization
+        self.last_mean_utilization = result.mean_utilization
+        self.last_source_rate = result.source_tuples_per_s
         if result.open_loop:
             self._m_offered_util.set(result.offered_utilization)
         return result.sink_tuples_per_s
+
+    def set_arrivals(self, factory, key: Optional[Tuple]) -> None:
+        """Swap the arrival schedule between periods.
+
+        The job layer couples a downstream PE's offered load to its
+        upstream's *measured* emission: before each period it derives a
+        fresh constant-rate schedule and installs it here.  ``key``
+        must identify the schedule for the measurement cache (pass
+        None to disable memoization for unidentifiable schedules).
+        """
+        self._arrivals_factory = factory
+        self._arrivals_key = key
+
+    def begin_run(self) -> None:
+        """Reset per-run state ahead of a sequence of
+        :meth:`step_period` calls (``run`` calls this itself)."""
+        self.trace = AdaptationTrace.empty()
+        self._events_left = list(self._workload_events)
+
+    def step_period(self, k: int) -> float:
+        """Execute adaptation period ``k`` (1-based): pop due workload
+        events, measure the current configuration, record the
+        observation, and apply the coordinator's decision.  Returns the
+        observed throughput.
+
+        ``run`` drives this in a loop; the multi-PE job executor
+        drives several runners' periods in lockstep instead, injecting
+        fresh arrival schedules between calls (:meth:`set_arrivals`).
+        """
+        period_s = self.config.elasticity.adaptation_period_s
+        time_s = k * period_s
+        # Arrival envelopes advance with the adaptation clock: the
+        # k-th period's engine sees the schedule from (k-1)·T on.
+        self._period_t0 = (k - 1) * period_s
+        events = self._events_left
+        while events and events[0][0] <= time_s:
+            _, new_graph = events.pop(0)
+            self.placement.validate(new_graph)
+            self.graph = new_graph
+        observed = self.measure()
+        self.trace.observations.append(
+            Observation(
+                time_s=time_s,
+                throughput=observed,
+                true_throughput=observed,
+                threads=self.threads,
+                n_queues=self.placement.n_queues,
+                mode=self.coordinator.mode.value,
+            )
+        )
+        action = self.coordinator.step(observed)
+        if action.set_threads is not None and (
+            action.set_threads != self.threads
+        ):
+            self.trace.thread_changes.append(
+                ThreadCountChange(
+                    time_s=time_s,
+                    old_threads=self.threads,
+                    new_threads=action.set_threads,
+                )
+            )
+            self.threads = action.set_threads
+        if action.set_placement is not None and (
+            action.set_placement.queued != self.placement.queued
+        ):
+            self.trace.placement_changes.append(
+                PlacementChange(
+                    time_s=time_s,
+                    old_n_queues=self.placement.n_queues,
+                    new_n_queues=action.set_placement.n_queues,
+                )
+            )
+            self.placement = action.set_placement
+        return observed
+
+    def result(self) -> DesAdaptationResult:
+        """Package the run state accumulated so far."""
+        return DesAdaptationResult(
+            trace=self.trace,
+            final_placement=self.placement,
+            final_threads=self.threads,
+            converged_throughput=self.trace.final_throughput(window=4),
+        )
 
     def run(
         self,
@@ -311,63 +418,18 @@ class DesAdaptationRunner:
         stop_after_stable_periods: Optional[int] = 8,
     ) -> DesAdaptationResult:
         """Drive the adaptation loop for up to ``max_periods`` periods."""
-        period_s = self.config.elasticity.adaptation_period_s
-        trace = AdaptationTrace.empty()
+        self.begin_run()
         stable_streak = 0
-        events = list(self._workload_events)
         for k in range(1, max_periods + 1):
-            time_s = k * period_s
-            # Arrival envelopes advance with the adaptation clock: the
-            # k-th period's engine sees the schedule from (k-1)·T on.
-            self._period_t0 = (k - 1) * period_s
-            while events and events[0][0] <= time_s:
-                _, new_graph = events.pop(0)
-                self.placement.validate(new_graph)
-                self.graph = new_graph
-            observed = self.measure()
-            trace.observations.append(
-                Observation(
-                    time_s=time_s,
-                    throughput=observed,
-                    true_throughput=observed,
-                    threads=self.threads,
-                    n_queues=self.placement.n_queues,
-                    mode=self.coordinator.mode.value,
-                )
-            )
-            action = self.coordinator.step(observed)
-            if action.set_threads is not None and (
-                action.set_threads != self.threads
+            self.step_period(k)
+            if (
+                stop_after_stable_periods is not None
+                and not self._events_left
             ):
-                trace.thread_changes.append(
-                    ThreadCountChange(
-                        time_s=time_s,
-                        old_threads=self.threads,
-                        new_threads=action.set_threads,
-                    )
-                )
-                self.threads = action.set_threads
-            if action.set_placement is not None and (
-                action.set_placement.queued != self.placement.queued
-            ):
-                trace.placement_changes.append(
-                    PlacementChange(
-                        time_s=time_s,
-                        old_n_queues=self.placement.n_queues,
-                        new_n_queues=action.set_placement.n_queues,
-                    )
-                )
-                self.placement = action.set_placement
-            if stop_after_stable_periods is not None and not events:
                 if self.coordinator.is_stable:
                     stable_streak += 1
                     if stable_streak >= stop_after_stable_periods:
                         break
                 else:
                     stable_streak = 0
-        return DesAdaptationResult(
-            trace=trace,
-            final_placement=self.placement,
-            final_threads=self.threads,
-            converged_throughput=trace.final_throughput(window=4),
-        )
+        return self.result()

@@ -1077,15 +1077,22 @@ class DesEngine:
                 )
         if self.profiler is not None:
             self.sim.spawn(self._profiler_proc(), name="profiler")
-        # Analytic fast-forward engages only for closed-loop unprofiled
-        # runs: an arrival iterator is external state a clock shift
-        # cannot advance, and a profiler must observe every sampling
-        # period — extrapolating over skipped stretches would leave
-        # holes in its attribution.
+        # Analytic fast-forward engages for unprofiled runs whose
+        # arrival schedules (if any) are steady and skippable: a plain
+        # arrival iterator is external state a clock shift cannot
+        # advance, but an :class:`~repro.scenarios.arrivals.
+        # ArrivalStream` over a flat envelope exposes ``skip_to`` so
+        # the jump re-anchors the schedule (see ``_ff_skip_arrivals``).
+        # A profiler must observe every sampling period —
+        # extrapolating over skipped stretches would leave holes in
+        # its attribution.
         if (
             self.channel.fastforward
-            and not self._arrivals
             and self.profiler is None
+            and all(
+                getattr(s, "steady", False) and hasattr(s, "skip_to")
+                for s in self._arrivals.values()
+            )
         ):
             self._ff_queues = (
                 tuple(self._queues[i] for i in self._queue_order)
@@ -1128,6 +1135,8 @@ class DesEngine:
                 dtype=np.int64,
             ),
             dict(self._busy_s),
+            self._offered_count,
+            self._dropped_count,
         )
 
     def _ff_extrapolate(
@@ -1173,7 +1182,28 @@ class DesEngine:
             delta = b1 - busy0.get(name, 0.0)
             if delta:
                 busy_s[name] = busy_s.get(name, 0.0) + scale * delta
+        d_offered = scale * (after[6] - before[6])
+        d_dropped = scale * (after[7] - before[7])
+        self._offered_count += d_offered
+        self._dropped_count += d_dropped
+        if d_offered:
+            self._m_offered.inc(d_offered)
+        if d_dropped:
+            self._m_dropped.inc(d_dropped)
         self._m_ff_saved.inc(saved)
+
+    def _ff_skip_arrivals(self, t: float) -> None:
+        """Re-anchor every arrival schedule after a clock jump.
+
+        ``shift_time`` moves the simulator's future but not the
+        external arrival iterators; without this, the first post-jump
+        ``next()`` would return a long-past due time and the source
+        thread would replay the skipped stretch as one giant backlog
+        burst.  Eligibility (see :meth:`start`) guarantees every
+        stream here has ``skip_to``.
+        """
+        for stream in self._arrivals.values():
+            stream.skip_to(t)
 
     # ------------------------------------------------------------------
     def run(

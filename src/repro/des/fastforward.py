@@ -48,10 +48,14 @@ protected: a jump is only taken when the remaining span exceeds
 ``min_jump_spans`` probe spans, so fast-forwarding engages on the long
 steady windows where it pays and stays out of the transient ones.
 The engine additionally refuses to construct a fast-forwarder at all
-for open-loop runs (an arrival iterator is external state a clock
-shift cannot advance) and profiled runs (the sampling clock must
-observe every interval, and its period is incommensurate with any
-steady pattern).
+for profiled runs (the sampling clock must observe every interval,
+and its period is incommensurate with any steady pattern) and for
+open-loop runs whose arrival schedules are modulated or lack
+``skip_to`` — a bare arrival iterator is external state a clock shift
+cannot advance.  Steady :class:`~repro.scenarios.arrivals.
+ArrivalStream` schedules *are* eligible: after a jump the engine
+calls ``skip_to`` on every stream so the schedule re-anchors at the
+jump target instead of replaying the skipped stretch.
 
 Fidelity
 --------
@@ -94,7 +98,8 @@ class FastForwarder:
     analytic extrapolation.
 
     Created by :class:`~repro.des.engine.DesEngine` when its channel
-    enables ``fastforward`` and the run is closed-loop and unprofiled.
+    enables ``fastforward``, the run is unprofiled, and every arrival
+    schedule (none, for closed loop) is steady and skippable.
     """
 
     def __init__(
@@ -163,6 +168,7 @@ class FastForwarder:
                 saved = int(round(scale * (self.probe_events + n)))
                 engine._ff_extrapolate(prev[0], c1, scale, saved)
                 sim.shift_time(remaining)
+                engine._ff_skip_arrivals(sim.now)
                 sim.events_fastforwarded += saved
                 self.jumps += 1
                 self.events_saved += saved

@@ -1,0 +1,180 @@
+"""The job-level coordinator: replica scaling + thread arbitration.
+
+Two control loops run concurrently in a multi-PE job:
+
+- **per PE**, the paper's §3.1–3.3 multi-level coordinator keeps
+  adapting thread counts and queue placements inside each PE exactly
+  as in a single-PE run — this module never touches that state;
+- **per job**, this coordinator watches each elastic PE's offered-load
+  utilization and decides the PE's *replica count* — the data-parallel
+  width the partitioned inter-PE channels spread tuples over — and
+  arbitrates a shared scheduler-thread budget across PEs.
+
+Scaling rules (hysteresis mirrors the paper's SENS-band reasoning —
+act only on persistent, unambiguous signals):
+
+- **scale-out** (``JOB-SCALE-OUT``): the PE's representative replica
+  admitted less than ``scale_out_util`` of its offered load — it is
+  the bottleneck of its channel — and head-room remains
+  (``replicas < max_replicas``).  If growing the job would exceed the
+  thread budget, a ``JOB-ARB`` decision records the refusal instead.
+- **scale-in** (``JOB-SCALE-IN``): the replica keeps up
+  (utilization ≈ 1) *and* its threads sit mostly idle
+  (``mean_util``), with enough slack that ``R-1`` replicas could
+  absorb the hottest replica's load with margin — the ``R/(R-1)``
+  head-room test.
+- otherwise ``JOB-HOLD``.
+
+Decisions are emitted with ``scope="job"`` into the shared hub, so
+they interleave with — but remain filterable from — the per-PE R1–R5
+traces.  A job with no elastic PEs emits no job decisions at all,
+which keeps pass-through jobs' logs identical to the concatenation of
+their PEs' standalone logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..obs.hub import Obs, ensure_hub
+
+
+@dataclass(frozen=True)
+class PeSummary:
+    """One PE's observable state at a job-coordinator step."""
+
+    name: str
+    replicas: int
+    max_replicas: int
+    elastic: bool
+    offered_utilization: float  # admitted/offered of the hot replica
+    mean_utilization: float  # mean thread-busy fraction
+    threads: int  # per-replica scheduler threads
+    stable: bool  # the PE's own coordinator settled
+
+
+@dataclass(frozen=True)
+class JobAction:
+    """Replica changes to apply before the next period."""
+
+    set_replicas: Dict[str, int]
+    changed: bool
+
+
+class JobCoordinator:
+    """Arbitrates replicas and threads across a job's PEs."""
+
+    def __init__(
+        self,
+        obs: Optional[Obs] = None,
+        scale_out_util: float = 0.95,
+        scale_in_util: float = 0.99,
+        scale_in_busy: float = 0.45,
+        thread_budget: Optional[int] = None,
+    ) -> None:
+        self._obs = ensure_hub(obs)
+        self.scale_out_util = scale_out_util
+        self.scale_in_util = scale_in_util
+        self.scale_in_busy = scale_in_busy
+        self.thread_budget = thread_budget
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _decide(self, rule: str, observed: float, note: str) -> None:
+        self._obs.decision(
+            component="job_coordinator",
+            mode="job",
+            rule=rule,
+            detail="",
+            observed=observed,
+            trend="flat",
+            history_hit=False,
+            satisfaction=None,
+            set_threads=None,
+            set_n_queues=None,
+            note=note,
+            scope="job",
+        )
+
+    def _total_threads(self, summaries: Sequence[PeSummary]) -> int:
+        return sum(s.threads * s.replicas for s in summaries)
+
+    def step(
+        self, summaries: Sequence[PeSummary], job_throughput: float
+    ) -> JobAction:
+        """One job-level adaptation step over the per-PE summaries.
+
+        Returns the replica plan for the next period.  Emits at most
+        one decision per elastic PE plus the initial ``JOB-INIT``;
+        jobs without elastic PEs stay silent.
+        """
+        new_replicas = {s.name: s.replicas for s in summaries}
+        elastic = [s for s in summaries if s.elastic]
+        if not elastic:
+            return JobAction(set_replicas=new_replicas, changed=False)
+        if not self._started:
+            self._started = True
+            self._decide(
+                "JOB-INIT",
+                job_throughput,
+                f"job up: {len(summaries)} PEs, "
+                f"{len(elastic)} elastic",
+            )
+        changed = False
+        total_threads = self._total_threads(summaries)
+        for s in elastic:
+            if (
+                s.offered_utilization < self.scale_out_util
+                and s.replicas < s.max_replicas
+            ):
+                added_threads = s.threads
+                if (
+                    self.thread_budget is not None
+                    and total_threads + added_threads > self.thread_budget
+                ):
+                    self._decide(
+                        "JOB-ARB",
+                        s.offered_utilization,
+                        f"{s.name}: scale-out to {s.replicas + 1} "
+                        f"denied; thread budget "
+                        f"{total_threads}+{added_threads}"
+                        f">{self.thread_budget}",
+                    )
+                    continue
+                new_replicas[s.name] = s.replicas + 1
+                total_threads += added_threads
+                changed = True
+                self._decide(
+                    "JOB-SCALE-OUT",
+                    s.offered_utilization,
+                    f"{s.name}: {s.replicas} -> {s.replicas + 1} "
+                    f"replicas (admitted "
+                    f"{s.offered_utilization:.2f} of offered)",
+                )
+            elif (
+                s.replicas > 1
+                and s.stable
+                and s.offered_utilization >= self.scale_in_util
+                # R-1 replicas must absorb the hot replica's load with
+                # the same idle margin: busy * R/(R-1) stays in band.
+                and s.mean_utilization
+                * (s.replicas / (s.replicas - 1))
+                < self.scale_in_busy
+            ):
+                new_replicas[s.name] = s.replicas - 1
+                total_threads -= s.threads
+                changed = True
+                self._decide(
+                    "JOB-SCALE-IN",
+                    s.mean_utilization,
+                    f"{s.name}: {s.replicas} -> {s.replicas - 1} "
+                    f"replicas (busy {s.mean_utilization:.2f})",
+                )
+            else:
+                self._decide(
+                    "JOB-HOLD",
+                    s.offered_utilization,
+                    f"{s.name}: holding {s.replicas} replicas",
+                )
+        return JobAction(set_replicas=new_replicas, changed=changed)

@@ -1,0 +1,413 @@
+"""Lockstep multi-PE adaptation over the tuple-level DES.
+
+The :class:`JobAdaptationRunner` drives one
+:class:`~repro.des.adaptation.DesAdaptationRunner` per PE of a
+:class:`~repro.job.graph.JobGraph` through the *same* sequence of
+adaptation periods, coupling them through the job's channels:
+
+- every PE keeps its own multi-level coordinator (its own seed,
+  derived as ``config.seed + 17*i`` in PE topological order — the
+  :mod:`repro.runtime.job` idiom — so PEs never share random
+  decisions) and publishes into the shared hub through a
+  ``pe.<name>`` scope;
+- each period runs in PE-topological order: before a PE's period, its
+  ingress pseudo-sources get a derived *constant-rate* arrival
+  schedule equal to the upstream PE's measured emission split by the
+  channel's partition routing — the hottest replica's share, since
+  the simulated replica stands in for the hottest one;
+- ``forward`` channels do no rate shaping at all: the downstream PE
+  runs saturated closed-loop, byte-identical to a standalone run of
+  its extracted subgraph (the multi-PE equivalence tests pin this);
+- after all PEs step, the :class:`~repro.job.coordinator.
+  JobCoordinator` scales elastic PEs' replica counts out/in from
+  their offered-load utilization, under an optional job-wide thread
+  budget.
+
+Replication model: one **representative replica** per PE is actually
+simulated — the hottest one, offered ``channel_rate * max_share``.
+The PE's aggregate emission is the replica's measured emission times
+the channel's ``effective_replicas`` (``sum(shares)/max(shares)``):
+when every replica keeps up emission is proportional to share, and
+when the hottest saturates the cooler replicas still keep up, so the
+hottest is the binding constraint either way.  This keeps a job with
+8-way replication as cheap to simulate as its single-replica version
+while preserving the skew effects that make partitioning interesting
+(a key-hash hot spot caps effective parallelism below R).
+
+PEs step in topological order inside each period, so an upstream
+emission is already measured by the time its consumer's schedule is
+derived — shaped channels couple from the very first period.  Derived
+rates are quantized to 4 significant digits so the measurement
+memoizer sees stable keys across periods that converged to the same
+coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..des.adaptation import DesAdaptationResult, DesAdaptationRunner
+from ..des.channels import ChannelConfig
+from ..obs.hub import Obs, ensure_hub
+from ..obs.scope import scoped
+from ..perfmodel.machine import MachineProfile
+from ..runtime.config import RuntimeConfig
+from ..runtime.events import AdaptationTrace, Observation
+from ..scenarios.arrivals import ArrivalProcess
+from ..scenarios.schema import ArrivalKind, ArrivalSpec, PartitionStrategy
+from .coordinator import JobCoordinator, PeSummary
+from .graph import JobGraph, PeSubgraph
+from .partition import Router, make_router
+
+# Seed stride between PE coordinators (matches repro.runtime.job).
+_PE_SEED_STRIDE = 17
+# Seed stride between channel routers.
+_CHANNEL_SEED_STRIDE = 1_000_003
+
+
+def _quantize(rate: float) -> float:
+    """4 significant digits: stable cache keys, sub-SENS rate error."""
+    return float(f"{rate:.4g}")
+
+
+@dataclass(frozen=True)
+class JobAdaptationResult:
+    """Outcome of a multi-PE elastic run.
+
+    Satisfies the :class:`~repro.runtime.backend.AdaptationBackend`
+    result shape: ``final_threads``/``final_n_queues`` aggregate over
+    PEs (replica-weighted), ``converged_throughput`` is the job's
+    real-sink emission.
+    """
+
+    trace: AdaptationTrace
+    pe_results: Dict[str, DesAdaptationResult]
+    final_replicas: Dict[str, int]
+    final_threads: int
+    final_n_queues: int
+    converged_throughput: float
+
+
+class JobAdaptationRunner:
+    """Runs a job graph's PEs in lockstep adaptation periods."""
+
+    def __init__(
+        self,
+        job: JobGraph,
+        machine: MachineProfile,
+        config: Optional[RuntimeConfig] = None,
+        warmup_s: float = 0.002,
+        measure_s: float = 0.01,
+        queue_capacity: int = 16,
+        profile_from_execution: bool = False,
+        sampled_profiling: bool = True,
+        obs: Optional[Obs] = None,
+        arrivals_factory=None,  # full-graph t0 -> {source_index: iter}
+        arrivals_key: Optional[Tuple] = None,
+        overflow: str = "block",
+        channel: Optional[ChannelConfig] = None,
+        thread_budget: Optional[int] = None,
+    ) -> None:
+        self.job = job
+        self.machine = machine
+        self.config = config if config is not None else RuntimeConfig()
+        self._hub = ensure_hub(obs)
+        self._arrivals_factory = arrivals_factory
+        self._arrivals_key = arrivals_key
+        self.coordinator = JobCoordinator(
+            obs=self._hub, thread_budget=thread_budget
+        )
+        self.replicas: Dict[str, int] = {
+            pe.name: pe.replicas for pe in job.pes
+        }
+        self.runners: Dict[str, DesAdaptationRunner] = {}
+        self._pe_seeds: Dict[str, int] = {}
+        for i, pe in enumerate(job.pes):
+            pe_config = replace(
+                self.config, seed=self.config.seed + _PE_SEED_STRIDE * i
+            )
+            self._pe_seeds[pe.name] = pe_config.seed
+            self.runners[pe.name] = DesAdaptationRunner(
+                pe.graph,
+                machine,
+                pe_config,
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+                queue_capacity=queue_capacity,
+                profile_from_execution=profile_from_execution,
+                sampled_profiling=sampled_profiling,
+                obs=scoped(self._hub, f"pe.{pe.name}"),
+                arrivals_factory=self._real_source_factory(pe),
+                arrivals_key=self._real_source_key(pe),
+                overflow=overflow,
+                channel=channel,
+            )
+        self._routers: Dict[int, Router] = {}
+        self._rebuild_routers()
+        # Aggregate emission (tuples/s over all sinks x all replicas)
+        # per PE, from the most recent period; None = not yet measured.
+        self._emission: Dict[str, Optional[float]] = {
+            pe.name: None for pe in job.pes
+        }
+        # Total ingress rate installed on each PE this period (None =
+        # ran saturated).  The engine's offered_utilization is blind
+        # under ``block`` overflow — a backpressured source stops
+        # pulling the schedule, so offered ≈ admitted ≈ 1.0 — but the
+        # executor *chose* the offered rate, so admitted/installed is
+        # the honest utilization either way.
+        self._installed_rate: Dict[str, Optional[float]] = {
+            pe.name: None for pe in job.pes
+        }
+        self.trace = AdaptationTrace.empty()
+
+    # ------------------------------------------------------------------
+    # arrival plumbing
+    # ------------------------------------------------------------------
+    def _real_source_factory(self, pe: PeSubgraph):
+        """Scenario open-loop arrivals, re-keyed from full-graph source
+        indices to this PE's subgraph indices."""
+        if self._arrivals_factory is None:
+            return None
+        full = self.job.full_graph
+        mapping = []  # (full_index, sub_index)
+        for op in pe.graph.sources:
+            if op.name.startswith("in:"):
+                continue
+            mapping.append((full.by_name(op.name).index, op.index))
+        if not mapping:
+            return None
+        factory = self._arrivals_factory
+
+        def pe_factory(t0: float):
+            streams = factory(t0)
+            return {
+                sub_idx: streams[full_idx]
+                for full_idx, sub_idx in mapping
+                if full_idx in streams
+            }
+
+        return pe_factory
+
+    def _real_source_key(self, pe: PeSubgraph) -> Optional[Tuple]:
+        if self._arrivals_factory is None or self._arrivals_key is None:
+            return None
+        if not any(
+            not op.name.startswith("in:") for op in pe.graph.sources
+        ):
+            return None
+        return ("job-real", pe.name, self._arrivals_key)
+
+    def _router_seed(self, channel_index: int) -> int:
+        base = self.job.partition.seed
+        if base is None:
+            base = self.config.seed
+        return base + _CHANNEL_SEED_STRIDE * channel_index
+
+    def _rebuild_routers(self) -> None:
+        """(Re)build one router per channel against the destination
+        PE's *current* replica count."""
+        for i, c in enumerate(self.job.channels):
+            self._routers[i] = make_router(
+                self.job.partition.strategy,
+                self.replicas[c.dst_pe],
+                seed=self._router_seed(i),
+                key_space=self.job.partition.key_space,
+            )
+
+    def _ingress_schedule(
+        self, pe: PeSubgraph
+    ) -> Tuple[Optional[Dict[int, float]], float]:
+        """Per-ingress offered rates for the representative replica.
+
+        Returns ``(rates, effective_replicas)``.  ``rates`` is None
+        when the PE runs saturated this period: pass-through
+        (forward) channels never shape, and shaped channels cannot
+        before their upstream has been measured once.
+        """
+        effective = float(self.replicas[pe.name])
+        if self.job.partition.strategy is PartitionStrategy.FORWARD:
+            return None, effective
+        rates: Dict[int, float] = {}
+        for i, c in enumerate(self.job.channels):
+            if c.dst_pe != pe.name:
+                continue
+            upstream = self._emission[c.src_pe]
+            if upstream is None:
+                return None, effective
+            router = self._routers[i]
+            effective = min(effective, router.effective_replicas)
+            idx = pe.ingress_index(c.dst_source)
+            rate = _quantize(upstream * c.weight * router.max_share)
+            rates[idx] = rates.get(idx, 0.0) + rate
+        if not rates:
+            return None, effective
+        return rates, effective
+
+    def _install_arrivals(
+        self, pe: PeSubgraph, rates: Optional[Dict[int, float]]
+    ) -> None:
+        """Point the PE's runner at this period's arrival schedule:
+        derived constant-rate streams on the ingress pseudo-sources,
+        merged with any real-source scenario arrivals."""
+        runner = self.runners[pe.name]
+        real_factory = self._real_source_factory(pe)
+        if rates is None:
+            runner.set_arrivals(
+                real_factory, self._real_source_key(pe)
+            )
+            return
+        seed = self._pe_seeds[pe.name]
+        procs = {
+            idx: ArrivalProcess(
+                ArrivalSpec(
+                    kind=ArrivalKind.DETERMINISTIC, rate=rate
+                ),
+                seed=seed + idx,
+            )
+            for idx, rate in rates.items()
+            if rate > 0.0
+        }
+
+        def factory(t0: float):
+            streams = {
+                idx: proc.arrival_stream(t0)
+                for idx, proc in procs.items()
+            }
+            if real_factory is not None:
+                streams.update(real_factory(t0))
+            return streams
+
+        key: Tuple = (
+            "job-ingress",
+            pe.name,
+            tuple(sorted(rates.items())),
+        )
+        real_key = self._real_source_key(pe)
+        if real_key is not None:
+            key += (real_key,)
+        runner.set_arrivals(factory, key)
+
+    # ------------------------------------------------------------------
+    # the lockstep loop
+    # ------------------------------------------------------------------
+    def step_period(self, k: int) -> float:
+        """Run adaptation period ``k`` across every PE, couple the
+        channels, then take one job-coordinator step.  Returns the
+        job throughput observed this period."""
+        period_s = self.config.elasticity.adaptation_period_s
+        self._hub.tick(k * period_s)
+        job_throughput = 0.0
+        summaries: List[PeSummary] = []
+        for pe in self.job.pes:
+            runner = self.runners[pe.name]
+            rates, effective = self._ingress_schedule(pe)
+            self._install_arrivals(pe, rates)
+            self._installed_rate[pe.name] = (
+                sum(rates.values()) if rates else None
+            )
+            observed = runner.step_period(k)
+            aggregate = observed * effective
+            self._emission[pe.name] = aggregate
+            job_throughput += aggregate * pe.real_sink_weight()
+            summaries.append(
+                PeSummary(
+                    name=pe.name,
+                    replicas=self.replicas[pe.name],
+                    max_replicas=pe.max_replicas,
+                    elastic=pe.elastic,
+                    offered_utilization=self._offered_utilization(pe),
+                    mean_utilization=runner.last_mean_utilization,
+                    threads=runner.threads,
+                    stable=runner.coordinator.is_stable,
+                )
+            )
+        action = self.coordinator.step(summaries, job_throughput)
+        if action.changed:
+            self.replicas.update(action.set_replicas)
+            self._rebuild_routers()
+        self._job_changed = action.changed
+        self.trace.observations.append(
+            Observation(
+                time_s=k * period_s,
+                throughput=job_throughput,
+                true_throughput=job_throughput,
+                threads=self._total_threads(),
+                n_queues=self._total_queues(),
+                mode="job",
+            )
+        )
+        return job_throughput
+
+    def _offered_utilization(self, pe: PeSubgraph) -> float:
+        """Offered-load utilization of the PE's hot replica.
+
+        When the executor installed a derived ingress rate, the
+        admitted-over-installed ratio is authoritative (the engine's
+        own figure saturates at ~1.0 under ``block`` backpressure);
+        otherwise fall through to the engine's measurement.
+        """
+        runner = self.runners[pe.name]
+        installed = self._installed_rate[pe.name]
+        util = runner.last_offered_utilization
+        if installed is not None and installed > 0.0:
+            util = min(util, runner.last_source_rate / installed)
+        return min(1.0, util)
+
+    def _total_threads(self) -> int:
+        return sum(
+            self.runners[pe.name].threads * self.replicas[pe.name]
+            for pe in self.job.pes
+        )
+
+    def _total_queues(self) -> int:
+        return sum(
+            self.runners[pe.name].placement.n_queues
+            * self.replicas[pe.name]
+            for pe in self.job.pes
+        )
+
+    @property
+    def is_stable(self) -> bool:
+        """All PE coordinators settled and the job loop held still."""
+        return all(
+            r.coordinator.is_stable for r in self.runners.values()
+        ) and not getattr(self, "_job_changed", False)
+
+    def run(
+        self,
+        max_periods: Optional[int] = None,
+        stop_after_stable_periods: Optional[int] = 8,
+    ) -> JobAdaptationResult:
+        """Drive the lockstep loop (the
+        :class:`~repro.runtime.backend.AdaptationBackend` surface)."""
+        if max_periods is None:
+            max_periods = 120
+        self.trace = AdaptationTrace.empty()
+        for runner in self.runners.values():
+            runner.begin_run()
+        stable_streak = 0
+        for k in range(1, max_periods + 1):
+            self.step_period(k)
+            if stop_after_stable_periods is not None:
+                if self.is_stable:
+                    stable_streak += 1
+                    if stable_streak >= stop_after_stable_periods:
+                        break
+                else:
+                    stable_streak = 0
+        return self.result()
+
+    def result(self) -> JobAdaptationResult:
+        pe_results = {
+            name: runner.result()
+            for name, runner in self.runners.items()
+        }
+        return JobAdaptationResult(
+            trace=self.trace,
+            pe_results=pe_results,
+            final_replicas=dict(self.replicas),
+            final_threads=self._total_threads(),
+            final_n_queues=self._total_queues(),
+            converged_throughput=self.trace.final_throughput(window=4),
+        )

@@ -29,6 +29,7 @@ byte-identical to runs before this subsystem existed.
 from .decisions import (
     ALT_BRANCHES,
     F7_BRANCHES,
+    JOB_RULES,
     TM_RULES,
     VALID_RULES,
     Decision,
@@ -45,6 +46,7 @@ from .exporters import (
     write_prometheus,
 )
 from .hub import NULL_HUB, NullHub, ObservabilityHub, ensure_hub
+from .scope import ScopedObs, ScopedRegistry, scoped
 from .registry import (
     DEFAULT_BUCKETS,
     NULL_COUNTER,
@@ -61,6 +63,10 @@ from .registry import (
 __all__ = [
     "ALT_BRANCHES",
     "F7_BRANCHES",
+    "JOB_RULES",
+    "ScopedObs",
+    "ScopedRegistry",
+    "scoped",
     "TM_RULES",
     "VALID_RULES",
     "Decision",

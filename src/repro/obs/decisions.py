@@ -59,7 +59,21 @@ ALT_BRANCHES: FrozenSet[str] = frozenset(
     }
 )
 
-VALID_RULES: FrozenSet[str] = TM_RULES | F7_BRANCHES | ALT_BRANCHES
+#: Job-level coordinator rules (:mod:`repro.job.coordinator`): replica
+#: scale-out/in of elastic PEs and cross-PE thread arbitration.  These
+#: ride in the same log as the per-PE R1-R5/Fig.7 decisions, tagged
+#: with ``scope="job"`` so per-PE traces stay filterable.
+JOB_RULES: FrozenSet[str] = frozenset(
+    {
+        "JOB-INIT",  # first period: job coordinator comes up
+        "JOB-SCALE-OUT",  # elastic PE gained a replica
+        "JOB-SCALE-IN",  # elastic PE shed a replica
+        "JOB-ARB",  # thread budget exceeded: a PE was clamped
+        "JOB-HOLD",  # job-level loop saw nothing to change
+    }
+)
+
+VALID_RULES: FrozenSet[str] = TM_RULES | F7_BRANCHES | ALT_BRANCHES | JOB_RULES
 
 
 @dataclass(frozen=True)
@@ -102,6 +116,12 @@ class Decision:
     note:
         The human-readable action note (matches
         :class:`~repro.core.coordinator.CoordinatorAction.note`).
+    scope:
+        Which execution context emitted the decision: ``""`` for a
+        plain single-PE run, ``"pe.<name>"`` for a PE inside a
+        multi-PE job, ``"job"`` for the job-level coordinator.  Lets
+        one hub carry a whole job's interleaved decision streams while
+        keeping every PE's R1-R5 trace individually filterable.
     """
 
     seq: int
@@ -118,6 +138,7 @@ class Decision:
     set_threads: Optional[int]
     set_n_queues: Optional[int]
     note: str
+    scope: str = ""
 
     def __post_init__(self) -> None:
         if self.rule not in VALID_RULES:
@@ -163,6 +184,7 @@ class Decision:
                 else int(data["set_n_queues"])
             ),
             note=str(data.get("note", "")),
+            scope=str(data.get("scope", "")),
         )
 
 

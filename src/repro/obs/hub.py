@@ -111,6 +111,7 @@ class ObservabilityHub:
         set_threads: Optional[int] = None,
         set_n_queues: Optional[int] = None,
         note: str = "",
+        scope: str = "",
     ) -> Decision:
         """Record one controller decision at the current clock/period."""
         record = Decision(
@@ -128,6 +129,7 @@ class ObservabilityHub:
             set_threads=set_threads,
             set_n_queues=set_n_queues,
             note=note,
+            scope=scope,
         )
         self._log.append(record)
         self._m_decisions.inc()

@@ -19,10 +19,21 @@ from .regions import Region, RegionDecomposition, decompose
 from .snapshot import load_trace, save_trace, trace_from_dict, trace_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from .backend import (
+        AdaptationBackend,
+        BackendResult,
+        PerfModelAdaptationRunner,
+    )
     from .executor import AdaptationExecutor, ExecutionResult, run_elastic
     from .pe import ProcessingElement
 
 _LAZY = {
+    "AdaptationBackend": ("repro.runtime.backend", "AdaptationBackend"),
+    "BackendResult": ("repro.runtime.backend", "BackendResult"),
+    "PerfModelAdaptationRunner": (
+        "repro.runtime.backend",
+        "PerfModelAdaptationRunner",
+    ),
     "AdaptationExecutor": ("repro.runtime.executor", "AdaptationExecutor"),
     "ExecutionResult": ("repro.runtime.executor", "ExecutionResult"),
     "run_elastic": ("repro.runtime.executor", "run_elastic"),
@@ -48,6 +59,9 @@ __all__ = [
     "Observation",
     "PlacementChange",
     "ThreadCountChange",
+    "AdaptationBackend",
+    "BackendResult",
+    "PerfModelAdaptationRunner",
     "AdaptationExecutor",
     "ExecutionResult",
     "run_elastic",

@@ -1,0 +1,112 @@
+"""The adaptation-backend protocol: one loop shape, many substrates.
+
+Three things in this repo can drive the multi-level elastic control
+loop to convergence: the tuple-level DES
+(:class:`~repro.des.adaptation.DesAdaptationRunner`), the analytical
+performance model (:class:`~repro.runtime.executor.AdaptationExecutor`
+over a :class:`~repro.runtime.pe.ProcessingElement`), and the multi-PE
+job executor (:class:`~repro.job.executor.JobAdaptationRunner`).  They
+grew different constructors — each substrate needs different knobs —
+but callers that only want "run the loop, give me the converged
+configuration" should not care which substrate is underneath.
+
+:class:`AdaptationBackend` pins that shared surface as a structural
+protocol: a ``run(max_periods, stop_after_stable_periods)`` method
+returning a result with ``trace``, ``final_threads``,
+``final_n_queues`` and ``converged_throughput``.  The DES and job
+runners satisfy it natively; :class:`PerfModelAdaptationRunner` adapts
+the executor's duration-based API (the perfmodel thinks in simulated
+seconds, the protocol in periods).
+
+The protocol is runtime-checkable so tests can assert conformance
+without importing every substrate, but it is *structural*: nothing
+needs to inherit from it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, runtime_checkable
+
+from ..obs.hub import Obs
+from .config import RuntimeConfig
+from .events import AdaptationTrace
+
+
+@runtime_checkable
+class BackendResult(Protocol):
+    """What every backend's ``run`` hands back."""
+
+    trace: AdaptationTrace
+
+    @property
+    def final_threads(self) -> int: ...
+
+    @property
+    def final_n_queues(self) -> int: ...
+
+    @property
+    def converged_throughput(self) -> float: ...
+
+
+@runtime_checkable
+class AdaptationBackend(Protocol):
+    """A substrate that can drive the elastic loop to convergence.
+
+    ``max_periods=None`` means "the backend's own default horizon" —
+    for the perfmodel adapter that is the duration it was constructed
+    with, for period-counted backends their default cap.
+    """
+
+    def run(
+        self,
+        max_periods: Optional[int] = None,
+        stop_after_stable_periods: Optional[int] = 8,
+    ) -> BackendResult: ...
+
+
+class PerfModelAdaptationRunner:
+    """:class:`AdaptationBackend` facade over the analytical model.
+
+    The underlying :class:`~repro.runtime.executor.AdaptationExecutor`
+    runs for a *duration*; the protocol speaks in *periods*.  The
+    adapter converts: ``max_periods`` periods of the configured
+    adaptation period, or the ``duration_s`` given at construction
+    when ``max_periods`` is None — preserving scenario semantics,
+    where ``run.duration_s`` (not ``run.max_periods``) governs
+    perfmodel runs.
+    """
+
+    def __init__(
+        self,
+        graph,
+        machine,
+        config: Optional[RuntimeConfig] = None,
+        duration_s: float = 2000.0,
+        workload_events: Optional[List[tuple]] = None,
+        obs: Optional[Obs] = None,
+    ) -> None:
+        from .executor import AdaptationExecutor
+        from .pe import ProcessingElement
+
+        self.config = config if config is not None else RuntimeConfig()
+        self.duration_s = duration_s
+        self.pe = ProcessingElement(graph, machine, self.config)
+        self.executor = AdaptationExecutor(
+            self.pe, workload_events=workload_events, obs=obs
+        )
+
+    def run(
+        self,
+        max_periods: Optional[int] = None,
+        stop_after_stable_periods: Optional[int] = 8,
+    ):
+        period_s = self.config.elasticity.adaptation_period_s
+        duration = (
+            self.duration_s
+            if max_periods is None
+            else max_periods * period_s
+        )
+        return self.executor.run(
+            duration_s=duration,
+            stop_after_stable_periods=stop_after_stable_periods,
+        )

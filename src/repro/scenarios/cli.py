@@ -157,4 +157,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
+    for r in results:
+        if r.pe_replicas:
+            plan = ", ".join(f"{n}={c}" for n, c in r.pe_replicas)
+            print(f"final replicas ({r.backend}): {plan}")
     return 0

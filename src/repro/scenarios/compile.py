@@ -27,7 +27,10 @@ import dataclasses
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from ..job.graph import JobGraph
 
 import numpy as np
 
@@ -46,6 +49,7 @@ from ..runtime.config import ElasticityConfig, RuntimeConfig
 from .arrivals import ArrivalProcess
 from .schema import (
     ArrivalKind,
+    Backend,
     CostKind,
     MachineName,
     NodeSpec,
@@ -69,10 +73,17 @@ class CompiledScenario:
     config: RuntimeConfig
     arrival_process: Optional[ArrivalProcess]
     channel: ChannelConfig = ChannelConfig()
+    # Present when the scenario declares a ``pes:`` block: the
+    # topology partitioned into PE subgraphs + inter-PE channels.
+    job: Optional["JobGraph"] = None
 
     @property
     def open_loop(self) -> bool:
         return self.arrival_process is not None
+
+    @property
+    def multi_pe(self) -> bool:
+        return self.job is not None
 
     @property
     def overflow(self) -> str:
@@ -101,6 +112,10 @@ class CompiledScenario:
         are therefore window-relative (``t - t0``).  Every source
         shares the same process spec but gets an independent iterator
         (offset seeds keep multi-source scenarios decorrelated).
+
+        The iterators are :class:`~.arrivals.ArrivalStream` instances,
+        so steady (unmodulated) schedules expose ``skip_to`` and the
+        DES analytic fast-forwarder stays eligible under open loop.
         """
         if self.arrival_process is None:
             return {}
@@ -109,7 +124,7 @@ class CompiledScenario:
             proc = self.arrival_process
             if i > 0:
                 proc = dataclasses.replace(proc, seed=proc.seed + i)
-            streams[op.index] = (t - t0 for t in proc.stream(t0))
+            streams[op.index] = proc.arrival_stream(t0)
         return streams
 
     def arrivals_factory(self):
@@ -337,6 +352,25 @@ def compile_scenario(scenario: Scenario) -> CompiledScenario:
         fastforward=ch.fastforward,
     )
 
+    job = None
+    if scenario.pes:
+        # Multi-PE jobs execute on the tuple-level DES only: the
+        # perfmodel has no inter-PE channel model to route over.
+        if scenario.run.backend is not Backend.DES:
+            raise ScenarioError(
+                "run.backend",
+                "scenarios with a 'pes' block must set run.backend "
+                f"to 'des', got {scenario.run.backend.value!r}",
+            )
+        from ..job.graph import JobGraphError, build_job_graph
+
+        try:
+            job = build_job_graph(
+                graph, scenario.pes, scenario.partition
+            )
+        except JobGraphError as exc:
+            raise ScenarioError("pes", str(exc)) from exc
+
     return CompiledScenario(
         scenario=scenario,
         graph=graph,
@@ -344,6 +378,7 @@ def compile_scenario(scenario: Scenario) -> CompiledScenario:
         config=config,
         arrival_process=process,
         channel=channel,
+        job=job,
     )
 
 

@@ -12,6 +12,12 @@ scenario through either substrate:
   compiler's source ``max_rate`` cap makes offered load the binding
   constraint when the workload is lighter than the machine.
 
+Scenarios with a ``pes:`` block are dispatched to the multi-PE job
+executor (:class:`~repro.job.executor.JobAdaptationRunner`, DES
+only), and :func:`make_backend` hands any compiled scenario back as
+an :class:`~repro.runtime.backend.AdaptationBackend` without running
+it.
+
 Both paths publish decisions through the same
 :class:`~repro.obs.ObservabilityHub`, so a scenario's R1–R5 decision
 sequence is comparable across backends and across sessions — the
@@ -51,6 +57,8 @@ class ScenarioRunResult:
     dropped_tuples: float = 0.0
     open_loop: bool = False
     mean_arrival_rate: Optional[float] = None
+    # Multi-PE jobs only: final replica count per PE name.
+    pe_replicas: Tuple[Tuple[str, int], ...] = ()
 
 
 def _decisions(hub: ObservabilityHub):
@@ -67,9 +75,15 @@ def _counter_value(hub: ObservabilityHub, name: str) -> float:
 def run_on_des(
     compiled: CompiledScenario, obs: Optional[Obs] = None
 ) -> ScenarioRunResult:
-    """Run the scenario's adaptation loop on the tuple-level DES."""
+    """Run the scenario's adaptation loop on the tuple-level DES.
+
+    Multi-PE scenarios (a ``pes:`` block) are dispatched to the job
+    executor — the single-PE runner cannot route inter-PE channels.
+    """
     from ..des.adaptation import DesAdaptationRunner
 
+    if compiled.multi_pe:
+        return run_on_job(compiled, obs=obs)
     run = compiled.scenario.run
     hub = obs if obs is not None else ObservabilityHub()
     runner = DesAdaptationRunner(
@@ -103,6 +117,123 @@ def run_on_des(
         dropped_tuples=_counter_value(hub, "des.dropped_tuples"),
         open_loop=compiled.open_loop,
         mean_arrival_rate=compiled.mean_arrival_rate,
+    )
+
+
+def run_on_job(
+    compiled: CompiledScenario, obs: Optional[Obs] = None
+) -> ScenarioRunResult:
+    """Run a multi-PE scenario through the job executor.
+
+    ``decisions`` carries the *job-level* decision stream (scope
+    ``"job"``); per-PE R1–R5 streams stay in the hub under their
+    ``pe.<name>`` scopes for callers that keep the hub.
+    """
+    from ..job.executor import JobAdaptationRunner
+
+    if compiled.job is None:
+        raise ValueError(
+            f"scenario {compiled.scenario.name!r} declares no 'pes' "
+            "block; use run_on_des"
+        )
+    run = compiled.scenario.run
+    hub = obs if obs is not None else ObservabilityHub()
+    runner = JobAdaptationRunner(
+        compiled.job,
+        compiled.machine,
+        compiled.config,
+        warmup_s=run.warmup_s,
+        measure_s=run.measure_s,
+        queue_capacity=run.queue_capacity,
+        profile_from_execution=run.profile_from_execution,
+        sampled_profiling=True,
+        obs=hub,
+        arrivals_factory=compiled.arrivals_factory(),
+        arrivals_key=compiled.arrivals_key(),
+        overflow=compiled.overflow,
+        channel=compiled.channel,
+    )
+    result = runner.run(
+        max_periods=run.max_periods,
+        stop_after_stable_periods=run.stop_after_stable_periods,
+    )
+    job_decisions = tuple(
+        (d.rule, d.set_threads, d.set_n_queues)
+        for d in hub.decisions()
+        if d.scope == "job"
+    )
+    offered = min(
+        (r.last_offered_utilization for r in runner.runners.values()),
+        default=1.0,
+    )
+    return ScenarioRunResult(
+        scenario=compiled.scenario.name,
+        backend="des",
+        periods=len(result.trace.observations),
+        converged_throughput=result.converged_throughput,
+        final_threads=result.final_threads,
+        final_n_queues=result.final_n_queues,
+        decisions=job_decisions,
+        offered_utilization=offered,
+        dropped_tuples=_counter_value(hub, "des.dropped_tuples"),
+        open_loop=compiled.open_loop,
+        mean_arrival_rate=compiled.mean_arrival_rate,
+        pe_replicas=tuple(sorted(result.final_replicas.items())),
+    )
+
+
+def make_backend(compiled: CompiledScenario, obs: Optional[Obs] = None):
+    """Construct the :class:`~repro.runtime.backend.AdaptationBackend`
+    a compiled scenario runs on, without running it.
+
+    Returns a DES runner for single-PE DES scenarios, a job runner
+    for multi-PE ones, and a perfmodel adapter otherwise — all
+    satisfying the same ``run(max_periods, stop_after_stable_periods)``
+    protocol.
+    """
+    run = compiled.scenario.run
+    if compiled.multi_pe:
+        from ..job.executor import JobAdaptationRunner
+
+        return JobAdaptationRunner(
+            compiled.job,
+            compiled.machine,
+            compiled.config,
+            warmup_s=run.warmup_s,
+            measure_s=run.measure_s,
+            queue_capacity=run.queue_capacity,
+            profile_from_execution=run.profile_from_execution,
+            obs=obs,
+            arrivals_factory=compiled.arrivals_factory(),
+            arrivals_key=compiled.arrivals_key(),
+            overflow=compiled.overflow,
+            channel=compiled.channel,
+        )
+    if compiled.scenario.run.backend is Backend.PERFMODEL:
+        from ..runtime.backend import PerfModelAdaptationRunner
+
+        return PerfModelAdaptationRunner(
+            compiled.graph,
+            compiled.machine,
+            compiled.config,
+            duration_s=run.duration_s,
+            obs=obs,
+        )
+    from ..des.adaptation import DesAdaptationRunner
+
+    return DesAdaptationRunner(
+        compiled.graph,
+        compiled.machine,
+        compiled.config,
+        warmup_s=run.warmup_s,
+        measure_s=run.measure_s,
+        queue_capacity=run.queue_capacity,
+        profile_from_execution=run.profile_from_execution,
+        obs=obs,
+        arrivals_factory=compiled.arrivals_factory(),
+        arrivals_key=compiled.arrivals_key(),
+        overflow=compiled.overflow,
+        channel=compiled.channel,
     )
 
 

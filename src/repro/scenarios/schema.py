@@ -123,6 +123,32 @@ class MachineName(enum.Enum):
     LAPTOP = "laptop"
 
 
+class PartitionStrategy(enum.Enum):
+    """How tuples route across the replicas of a downstream PE.
+
+    Mirrors the partition-strategy vocabulary of streaming dataflow
+    systems (Ray streaming's ``PStrategy``, Flink's partitioners):
+
+    - ``forward``: pass-through to a single replica — the strategy a
+      1:1 inter-PE edge uses; requires ``replicas == 1`` downstream.
+    - ``round_robin``: tuple ``i`` goes to replica ``i mod R``.
+    - ``shuffle``: seeded-hash of the tuple sequence number — a
+      deterministic stand-in for random spraying.
+    - ``key_hash``: seeded-hash of the tuple key over a synthetic
+      ``key_space``; replica shares follow the key-popularity split.
+    - ``broadcast``: every replica receives every tuple.
+
+    Defined here (not in :mod:`repro.job`) so the scenario schema has
+    no import edge into the job layer — the job layer imports *us*.
+    """
+
+    FORWARD = "forward"
+    ROUND_ROBIN = "round_robin"
+    SHUFFLE = "shuffle"
+    KEY_HASH = "key_hash"
+    BROADCAST = "broadcast"
+
+
 # ----------------------------------------------------------------------
 # topology
 # ----------------------------------------------------------------------
@@ -313,6 +339,38 @@ class RunSpec:
 
 
 @dataclass(frozen=True)
+class PeSpec:
+    """One processing element of a multi-PE job.
+
+    ``operators`` names the scenario-topology operators this PE owns
+    (every operator must be assigned to exactly one PE).  ``replicas``
+    is the initial data-parallel width; with ``elastic: true`` the
+    job-level coordinator may scale the PE out/in between 1 and
+    ``max_replicas`` replicas at run time.  Elastic PEs must be
+    stateless in the paper's sense: no lock-using operators.
+    """
+
+    name: str
+    operators: Tuple[str, ...] = ()
+    replicas: int = 1
+    elastic: bool = False
+    max_replicas: int = 8
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How inter-PE channels route tuples across downstream replicas.
+
+    ``seed`` overrides the run seed for routing alone; ``key_space``
+    is the synthetic key cardinality ``key_hash`` distributes over.
+    """
+
+    strategy: PartitionStrategy = PartitionStrategy.FORWARD
+    seed: Optional[int] = None
+    key_space: int = 1024
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A complete, validated scenario document."""
 
@@ -323,6 +381,8 @@ class Scenario:
     machine: MachineSpec = field(default_factory=MachineSpec)
     run: RunSpec = field(default_factory=RunSpec)
     channel: ChannelSpec = field(default_factory=ChannelSpec)
+    pes: Tuple[PeSpec, ...] = ()
+    partition: PartitionSpec = field(default_factory=PartitionSpec)
 
 
 FORMAT_VERSION = 1
@@ -917,6 +977,101 @@ def _run_from_dict(data: Any, path: str) -> RunSpec:
     )
 
 
+def _pe_from_dict(data: Any, path: str) -> PeSpec:
+    data = _mapping(data, path)
+    _check_keys(
+        data,
+        path,
+        ("name", "operators", "replicas", "elastic", "max_replicas"),
+    )
+    if "name" not in data:
+        raise ScenarioError(f"{path}.name", "PE name is required")
+    operators = data.get("operators", [])
+    if not isinstance(operators, (list, tuple)) or not operators:
+        raise ScenarioError(
+            f"{path}.operators",
+            f"expected a non-empty list of operator names, got "
+            f"{operators!r}",
+        )
+    spec = PeSpec(
+        name=_string(data["name"], f"{path}.name"),
+        operators=tuple(
+            _string(op, f"{path}.operators[{i}]")
+            for i, op in enumerate(operators)
+        ),
+        replicas=_number(
+            data.get("replicas", 1),
+            f"{path}.replicas",
+            integer=True,
+            minimum=1,
+        ),
+        elastic=_bool(data.get("elastic", False), f"{path}.elastic"),
+        max_replicas=_number(
+            data.get("max_replicas", 8),
+            f"{path}.max_replicas",
+            integer=True,
+            minimum=1,
+        ),
+    )
+    if spec.replicas > spec.max_replicas:
+        raise ScenarioError(
+            f"{path}.replicas",
+            f"replicas ({spec.replicas}) exceeds max_replicas "
+            f"({spec.max_replicas})",
+        )
+    return spec
+
+
+def _pes_from_dict(data: Any, path: str) -> Tuple[PeSpec, ...]:
+    if not isinstance(data, (list, tuple)):
+        raise ScenarioError(
+            path, f"expected a list of PE mappings, got {data!r}"
+        )
+    pes = tuple(
+        _pe_from_dict(pe, f"{path}[{i}]") for i, pe in enumerate(data)
+    )
+    seen_names: set = set()
+    seen_ops: Dict[str, str] = {}
+    for i, pe in enumerate(pes):
+        if pe.name in seen_names:
+            raise ScenarioError(
+                f"{path}[{i}].name", f"duplicate PE name {pe.name!r}"
+            )
+        seen_names.add(pe.name)
+        for op in pe.operators:
+            if op in seen_ops:
+                raise ScenarioError(
+                    f"{path}[{i}].operators",
+                    f"operator {op!r} is assigned to both "
+                    f"{seen_ops[op]!r} and {pe.name!r}",
+                )
+            seen_ops[op] = pe.name
+    return pes
+
+
+def _partition_from_dict(data: Any, path: str) -> PartitionSpec:
+    data = _mapping(data, path)
+    _check_keys(data, path, ("strategy", "seed", "key_space"))
+    return PartitionSpec(
+        strategy=_enum(
+            data.get("strategy", "forward"),
+            f"{path}.strategy",
+            PartitionStrategy,
+        ),
+        seed=(
+            _number(data["seed"], f"{path}.seed", integer=True)
+            if data.get("seed") is not None
+            else None
+        ),
+        key_space=_number(
+            data.get("key_space", 1024),
+            f"{path}.key_space",
+            integer=True,
+            minimum=1,
+        ),
+    )
+
+
 def scenario_from_dict(data: Any) -> Scenario:
     """Parse and validate a scenario document.
 
@@ -936,6 +1091,8 @@ def scenario_from_dict(data: Any) -> Scenario:
             "machine",
             "run",
             "channel",
+            "pes",
+            "partition",
         ),
     )
     version = data.get("version", FORMAT_VERSION)
@@ -961,6 +1118,8 @@ def scenario_from_dict(data: Any) -> Scenario:
         machine=_machine_from_dict(data.get("machine", {}), "machine"),
         run=_run_from_dict(data.get("run", {}), "run"),
         channel=_channel_from_dict(data.get("channel", {}), "channel"),
+        pes=_pes_from_dict(data.get("pes", []), "pes"),
+        partition=_partition_from_dict(data.get("partition", {}), "partition"),
     )
 
 

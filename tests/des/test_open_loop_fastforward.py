@@ -1,0 +1,152 @@
+"""Steady open-loop runs ride the analytic fast-forwarder.
+
+PR-7's fast-forwarder only engaged for saturated (closed-loop) runs;
+with ``ArrivalStream.skip_to`` the same extrapolation covers steady
+open-loop arrivals: probe, verify the rate is steady, jump the window,
+and re-anchor every arrival stream at the landing time.  Modulated or
+non-skippable schedules must keep event-by-event fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.des.channels import ChannelConfig
+from repro.des.engine import DesEngine
+from repro.graph.topologies import pipeline
+from repro.perfmodel.machine import laptop
+from repro.runtime.queues import QueuePlacement
+from repro.scenarios.arrivals import ArrivalProcess
+from repro.scenarios.schema import (
+    ArrivalKind,
+    ArrivalSpec,
+    ModulationKind,
+    ModulationSpec,
+)
+
+FF = ChannelConfig(fastforward=True)
+
+
+def _graph():
+    return pipeline(4, cost_flops=1000.0, payload_bytes=128)
+
+
+def _process(
+    rate, *, seed=0, kind=ArrivalKind.DETERMINISTIC, modulation=None
+):
+    return ArrivalProcess(
+        ArrivalSpec(
+            kind=kind,
+            rate=rate,
+            modulation=modulation or ModulationSpec(),
+        ),
+        seed=seed,
+    )
+
+
+ONOFF = ModulationSpec(
+    kind=ModulationKind.ONOFF, on_s=0.002, off_s=0.002
+)
+
+
+def _run(graph, arrivals, channel=None, measure_s=0.2):
+    src = graph.sources[0].index
+    engine = DesEngine(
+        graph,
+        laptop(4),
+        QueuePlacement.of([1]),
+        2,
+        arrivals={src: arrivals},
+        channel=channel,
+    )
+    result = engine.run(warmup_s=0.002, measure_s=measure_s)
+    return engine, result
+
+
+class TestSteadyOpenLoopFastForward:
+    def test_fastforward_engages_and_matches_plain_run(self):
+        graph = _graph()
+        proc = _process(100_000.0)
+        ff_engine, ff = _run(graph, proc.arrival_stream(0.0), channel=FF)
+        assert ff_engine.sim.events_fastforwarded > 0
+        _plain_engine, plain = _run(graph, proc.arrival_stream(0.0))
+        assert ff.sink_tuples_per_s == pytest.approx(
+            plain.sink_tuples_per_s, rel=0.05
+        )
+        assert ff.offered_tuples_per_s == pytest.approx(
+            plain.offered_tuples_per_s, rel=0.05
+        )
+        assert ff.offered_utilization == pytest.approx(
+            plain.offered_utilization, abs=0.05
+        )
+
+    def test_fastforward_saves_most_events(self):
+        graph = _graph()
+        proc = _process(100_000.0)
+        engine, _result = _run(
+            graph, proc.arrival_stream(0.0), channel=FF
+        )
+        saved = engine.sim.events_fastforwarded
+        processed = engine.sim.events_processed
+        assert saved > 4 * processed
+
+    def test_modulated_schedule_stays_event_by_event(self):
+        graph = _graph()
+        proc = _process(100_000.0, modulation=ONOFF)
+        engine, _result = _run(
+            graph, proc.arrival_stream(0.0), channel=FF, measure_s=0.05
+        )
+        assert engine.sim.events_fastforwarded == 0
+
+    def test_plain_iterator_stays_event_by_event(self):
+        """A bare generator has no skip_to: FF must not engage."""
+        graph = _graph()
+        proc = _process(100_000.0)
+        engine, _result = _run(
+            graph, proc.stream(0.0), channel=FF, measure_s=0.05
+        )
+        assert engine.sim.events_fastforwarded == 0
+
+
+class TestArrivalStreamSkipTo:
+    def test_steady_stream_reanchors_on_grid(self):
+        proc = _process(1_000.0)
+        s = proc.arrival_stream(0.0)
+        for _ in range(3):
+            next(s)
+        s.skip_to(0.5)
+        t = next(s)
+        assert t >= 0.5 - 1e-12
+        # Landed on the arrival grid: an integer multiple of 1/rate.
+        k = t * 1_000.0
+        assert abs(k - round(k)) < 1e-6
+
+    def test_skip_to_is_monotone(self):
+        proc = _process(1_000.0)
+        s = proc.arrival_stream(0.0)
+        s.skip_to(0.25)
+        first = next(s)
+        s.skip_to(0.1)  # earlier target: no rewind
+        assert next(s) > first
+
+    def test_skip_exact_grid_point_not_overshot(self):
+        """skip_to(k/rate) must not skip past the k-th arrival."""
+        proc = _process(1_000.0)
+        s = proc.arrival_stream(0.0)
+        s.skip_to(7 / 1_000.0)
+        assert next(s) == pytest.approx(0.007, abs=1e-9)
+
+    def test_modulated_stream_is_not_steady(self):
+        proc = _process(1_000.0, modulation=ONOFF)
+        s = proc.arrival_stream(0.0)
+        assert not s.steady
+
+    def test_poisson_stream_drains_to_target(self):
+        proc = _process(10_000.0, kind=ArrivalKind.POISSON, seed=4)
+        s = proc.arrival_stream(0.0)
+        s.skip_to(0.01)
+        t = next(s)
+        assert t >= 0.01
+        assert math.isfinite(t)

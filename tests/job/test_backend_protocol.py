@@ -1,0 +1,127 @@
+"""AdaptationBackend: every substrate satisfies the same protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import cache
+from repro.graph import pipeline
+from repro.job.executor import JobAdaptationRunner
+from repro.job.graph import build_job_graph
+from repro.perfmodel import laptop
+from repro.runtime import RuntimeConfig
+from repro.runtime.backend import (
+    AdaptationBackend,
+    BackendResult,
+    PerfModelAdaptationRunner,
+)
+from repro.des.adaptation import DesAdaptationRunner
+from repro.scenarios.schema import PeSpec
+
+
+@pytest.fixture
+def pipe4():
+    return pipeline(4, cost_flops=1000.0, payload_bytes=128)
+
+
+def test_des_runner_is_a_backend(pipe4):
+    runner = DesAdaptationRunner(pipe4, laptop(4), RuntimeConfig(seed=3))
+    assert isinstance(runner, AdaptationBackend)
+
+
+def test_job_runner_is_a_backend(pipe4):
+    job = build_job_graph(
+        pipe4,
+        (
+            PeSpec(name="a", operators=("src", "op0", "op1")),
+            PeSpec(name="b", operators=("op2", "op3", "snk")),
+        ),
+    )
+    runner = JobAdaptationRunner(job, laptop(4), RuntimeConfig(seed=3))
+    assert isinstance(runner, AdaptationBackend)
+
+
+def test_perfmodel_adapter_is_a_backend(pipe4):
+    runner = PerfModelAdaptationRunner(
+        pipe4, laptop(4), RuntimeConfig(seed=3)
+    )
+    assert isinstance(runner, AdaptationBackend)
+
+
+@pytest.mark.parametrize("substrate", ["des", "perfmodel"])
+def test_backends_return_conforming_results(pipe4, substrate):
+    cache.clear()
+    if substrate == "des":
+        runner = DesAdaptationRunner(
+            pipe4,
+            laptop(4),
+            RuntimeConfig(seed=3),
+            warmup_s=0.001,
+            measure_s=0.004,
+        )
+    else:
+        runner = PerfModelAdaptationRunner(
+            pipe4, laptop(4), RuntimeConfig(seed=3)
+        )
+    result = runner.run(max_periods=4, stop_after_stable_periods=None)
+    assert isinstance(result, BackendResult)
+    assert result.final_threads >= 1
+    assert result.final_n_queues >= 0
+    assert result.converged_throughput > 0
+    assert len(result.trace.observations) >= 1
+
+
+def test_job_result_conforms(pipe4):
+    cache.clear()
+    job = build_job_graph(
+        pipe4,
+        (
+            PeSpec(name="a", operators=("src", "op0", "op1")),
+            PeSpec(name="b", operators=("op2", "op3", "snk")),
+        ),
+    )
+    runner = JobAdaptationRunner(
+        job,
+        laptop(4),
+        RuntimeConfig(seed=3),
+        warmup_s=0.001,
+        measure_s=0.004,
+    )
+    result = runner.run(max_periods=3, stop_after_stable_periods=None)
+    assert isinstance(result, BackendResult)
+    assert result.converged_throughput > 0
+
+
+def test_perfmodel_adapter_converts_periods_to_duration(pipe4):
+    config = RuntimeConfig(seed=3)
+    runner = PerfModelAdaptationRunner(
+        pipe4, laptop(4), config, duration_s=50.0
+    )
+    period_s = config.elasticity.adaptation_period_s
+    result = runner.run(max_periods=4, stop_after_stable_periods=None)
+    assert (
+        len(result.trace.observations)
+        <= 4 * period_s / period_s + 1
+    )
+    # max_periods=None falls back to the constructed duration.
+    fallback = PerfModelAdaptationRunner(
+        pipe4, laptop(4), config, duration_s=2 * period_s
+    ).run(stop_after_stable_periods=None)
+    assert len(fallback.trace.observations) >= 1
+
+
+def test_make_backend_dispatch(tmp_path):
+    """The scenario-level factory picks the right substrate."""
+    from repro.scenarios import compile_scenario, load_scenario
+    from repro.scenarios.run import make_backend
+
+    des = compile_scenario(
+        load_scenario("scenarios/pipeline-smoke.yaml")
+    )
+    job = compile_scenario(
+        load_scenario("scenarios/fig07-2pe-passthrough.yaml")
+    )
+    assert isinstance(make_backend(des), AdaptationBackend)
+    backend = make_backend(job)
+    assert isinstance(backend, JobAdaptationRunner)
+    assert isinstance(backend, AdaptationBackend)

@@ -1,0 +1,167 @@
+"""Job-graph partitioning: extraction, channels, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphBuilder, pipeline
+from repro.graph.serialize import graph_to_dict
+from repro.job.graph import JobGraphError, build_job_graph
+from repro.scenarios.schema import (
+    PartitionSpec,
+    PartitionStrategy,
+    PeSpec,
+)
+
+
+def two_pe_specs():
+    return (
+        PeSpec(name="front", operators=("src", "op0", "op1", "op2", "op3")),
+        PeSpec(name="back", operators=("op4", "op5", "op6", "op7", "snk")),
+    )
+
+
+@pytest.fixture
+def pipe8():
+    return pipeline(8, cost_flops=4000.0, payload_bytes=128)
+
+
+class TestExtraction:
+    def test_two_pe_pipeline_split(self, pipe8):
+        job = build_job_graph(pipe8, two_pe_specs())
+        assert [pe.name for pe in job.pes] == ["front", "back"]
+        front, back = job.pes
+        assert front.egress == ("out:op3",)
+        assert back.ingress == ("in:op4",)
+        assert front.has_real_source and not front.has_real_sink
+        assert back.has_real_sink and not back.has_real_source
+        (chan,) = job.channels
+        assert (chan.src_pe, chan.dst_pe) == ("front", "back")
+        assert (chan.src_op, chan.dst_op) == ("op3", "op4")
+        assert (chan.src_sink, chan.dst_source) == ("out:op3", "in:op4")
+        assert chan.weight == pytest.approx(1.0)
+
+    def test_extraction_is_deterministic(self, pipe8):
+        a = build_job_graph(pipe8, two_pe_specs())
+        b = build_job_graph(pipe8, two_pe_specs())
+        for pa, pb in zip(a.pes, b.pes):
+            assert graph_to_dict(pa.graph) == graph_to_dict(pb.graph)
+
+    def test_owned_operator_costs_preserved(self, pipe8):
+        job = build_job_graph(pipe8, two_pe_specs())
+        back = job.pe("back")
+        for name in ("op4", "op5", "op6", "op7"):
+            assert (
+                back.graph.by_name(name).cost_flops
+                == pipe8.by_name(name).cost_flops
+            )
+        # Pseudo-operators are nominal-cost and lock-free.
+        assert back.graph.by_name("in:op4").cost_flops == 1.0
+        assert not job.pe("front").graph.by_name("out:op3").uses_lock
+
+    def test_real_sink_weight(self, pipe8):
+        job = build_job_graph(pipe8, two_pe_specs())
+        # All of front's emission leaves on the channel; all of back's
+        # lands in the real sink.
+        assert job.pe("front").real_sink_weight() == pytest.approx(0.0)
+        assert job.pe("back").real_sink_weight() == pytest.approx(1.0)
+
+    def test_channels_into_and_out_of(self, pipe8):
+        job = build_job_graph(pipe8, two_pe_specs())
+        assert job.channels_into("back") == job.channels
+        assert job.channels_out_of("front") == job.channels
+        assert job.channels_into("front") == ()
+
+
+class TestValidation:
+    def test_unknown_operator(self, pipe8):
+        with pytest.raises(JobGraphError, match="unknown operator"):
+            build_job_graph(
+                pipe8, (PeSpec(name="a", operators=("nope",)),)
+            )
+
+    def test_double_assignment(self, pipe8):
+        specs = (
+            PeSpec(name="a", operators=("src", "op0")),
+            PeSpec(name="b", operators=("op0",)),
+        )
+        with pytest.raises(JobGraphError, match="assigned to both"):
+            build_job_graph(pipe8, specs)
+
+    def test_missing_coverage(self, pipe8):
+        with pytest.raises(JobGraphError, match="not assigned"):
+            build_job_graph(
+                pipe8, (PeSpec(name="a", operators=("src",)),)
+            )
+
+    def test_pe_cycle_rejected(self):
+        b = GraphBuilder("loopy", payload_bytes=64)
+        src = b.add_source("src")
+        x = b.add_operator("x", cost_flops=100.0)
+        y = b.add_operator("y", cost_flops=100.0)
+        snk = b.add_sink("snk")
+        b.chain(src, x, y, snk)
+        g = b.build()
+        # x and snk in one PE, src and y in the other: the cut edges
+        # run in both directions between the two PEs.
+        specs = (
+            PeSpec(name="a", operators=("src", "y")),
+            PeSpec(name="b", operators=("x", "snk")),
+        )
+        with pytest.raises(JobGraphError, match="cycle"):
+            build_job_graph(g, specs)
+
+    def test_forward_requires_single_replica(self, pipe8):
+        specs = (
+            PeSpec(name="front", operators=("src", "op0", "op1", "op2", "op3")),
+            PeSpec(
+                name="back",
+                operators=("op4", "op5", "op6", "op7", "snk"),
+                replicas=2,
+            ),
+        )
+        with pytest.raises(JobGraphError, match="single-replica"):
+            build_job_graph(
+                pipe8,
+                specs,
+                PartitionSpec(strategy=PartitionStrategy.FORWARD),
+            )
+
+    def test_elastic_pe_must_be_stateless(self, pipe8):
+        # snk uses a lock (the paper's throughput counter), so a PE
+        # owning it cannot replicate.
+        specs = (
+            PeSpec(name="front", operators=("src", "op0", "op1", "op2", "op3")),
+            PeSpec(
+                name="back",
+                operators=("op4", "op5", "op6", "op7", "snk"),
+                elastic=True,
+            ),
+        )
+        with pytest.raises(JobGraphError, match="stateless"):
+            build_job_graph(
+                pipe8,
+                specs,
+                PartitionSpec(strategy=PartitionStrategy.SHUFFLE),
+            )
+
+    def test_elastic_under_forward_rejected(self, pipe8):
+        specs = (
+            PeSpec(name="front", operators=("src", "op0", "op1", "op2", "op3")),
+            PeSpec(
+                name="back",
+                operators=("op4", "op5", "op6", "op7"),
+                elastic=True,
+            ),
+            PeSpec(name="tail", operators=("snk",)),
+        )
+        with pytest.raises(JobGraphError, match="sheds"):
+            build_job_graph(
+                pipe8,
+                specs,
+                PartitionSpec(strategy=PartitionStrategy.FORWARD),
+            )
+
+    def test_empty_job_rejected(self, pipe8):
+        with pytest.raises(JobGraphError, match="at least one PE"):
+            build_job_graph(pipe8, ())

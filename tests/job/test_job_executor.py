@@ -1,0 +1,150 @@
+"""The lockstep multi-PE executor: elasticity, determinism, budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import cache
+from repro.graph import GraphBuilder
+from repro.job.executor import JobAdaptationRunner
+from repro.job.graph import build_job_graph
+from repro.obs.hub import ObservabilityHub
+from repro.perfmodel import laptop
+from repro.runtime import RuntimeConfig
+from repro.scenarios.schema import (
+    PartitionSpec,
+    PartitionStrategy,
+    PeSpec,
+)
+
+
+def heavy_worker_job(elastic=True, max_replicas=6, replicas=1):
+    """src(50) -> work(20000) -> snk: a cheap ingest PE saturating a
+    heavy worker PE, the canonical scale-out shape."""
+    b = GraphBuilder("worker-job", payload_bytes=128)
+    src = b.add_source("src", cost_flops=50.0)
+    work = b.add_operator("work", cost_flops=20000.0)
+    snk = b.add_sink("snk", cost_flops=10.0)
+    b.chain(src, work, snk)
+    pes = (
+        PeSpec(name="ingest", operators=("src",)),
+        PeSpec(
+            name="worker",
+            operators=("work",),
+            elastic=elastic,
+            max_replicas=max_replicas,
+            replicas=replicas,
+        ),
+        PeSpec(name="sinkpe", operators=("snk",)),
+    )
+    return build_job_graph(
+        b.build(),
+        pes,
+        PartitionSpec(strategy=PartitionStrategy.KEY_HASH, key_space=16),
+    )
+
+
+def run_job(job, periods=12, seed=11, thread_budget=None):
+    cache.clear()
+    hub = ObservabilityHub()
+    runner = JobAdaptationRunner(
+        job,
+        laptop(4),
+        RuntimeConfig(seed=seed),
+        warmup_s=0.001,
+        measure_s=0.004,
+        obs=hub,
+        thread_budget=thread_budget,
+    )
+    result = runner.run(
+        max_periods=periods, stop_after_stable_periods=None
+    )
+    return runner, result, hub
+
+
+class TestElasticScaling:
+    def test_scale_out_until_keeping_up(self):
+        job = heavy_worker_job()
+        _runner, result, hub = run_job(job)
+        assert result.final_replicas["worker"] > 1
+        rules = [d.rule for d in hub.decisions() if d.scope == "job"]
+        assert rules[0] == "JOB-INIT"
+        assert "JOB-SCALE-OUT" in rules
+        # Non-elastic PEs never scale.
+        assert result.final_replicas["ingest"] == 1
+        assert result.final_replicas["sinkpe"] == 1
+
+    def test_throughput_grows_with_replicas(self):
+        job = heavy_worker_job()
+        _runner, result, _hub = run_job(job)
+        thpts = [o.throughput for o in result.trace.observations]
+        # The scaled-out job beats the single-replica first period.
+        assert max(thpts[1:]) > 1.5 * thpts[0]
+
+    def test_thread_budget_arbitration(self):
+        job = heavy_worker_job()
+        _runner, result, hub = run_job(job, thread_budget=3)
+        rules = [d.rule for d in hub.decisions() if d.scope == "job"]
+        assert "JOB-ARB" in rules
+        # Every grant was refused: the worker never replicated.  (The
+        # budget arbitrates job-level growth; PE-internal threading
+        # stays under each PE's own coordinator.)
+        assert result.final_replicas["worker"] == 1
+        _runner2, unbounded, _h2 = run_job(job)
+        assert (
+            result.final_replicas["worker"]
+            < unbounded.final_replicas["worker"]
+        )
+
+    def test_static_job_emits_no_job_decisions(self):
+        job = heavy_worker_job(elastic=False, replicas=2)
+        _runner, result, hub = run_job(job, periods=6)
+        assert [d for d in hub.decisions() if d.scope == "job"] == []
+        assert result.final_replicas["worker"] == 2
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        """Same seed: identical job decisions, replica plans, and
+        per-PE R1-R5 traces across repeated runs."""
+        job = heavy_worker_job()
+        _r1, res1, hub1 = run_job(job, periods=10)
+        _r2, res2, hub2 = run_job(job, periods=10)
+        sig1 = [
+            (d.scope, d.rule, d.set_threads, d.set_n_queues)
+            for d in hub1.decisions()
+        ]
+        sig2 = [
+            (d.scope, d.rule, d.set_threads, d.set_n_queues)
+            for d in hub2.decisions()
+        ]
+        assert sig1 == sig2
+        assert res1.final_replicas == res2.final_replicas
+        assert res1.converged_throughput == pytest.approx(
+            res2.converged_throughput
+        )
+
+    def test_seed_changes_pe_traces(self):
+        """PE coordinators derive distinct seeds from the job seed."""
+        job = heavy_worker_job()
+        runner, _res, _hub = run_job(job, periods=2)
+        seeds = {
+            name: r.config.seed for name, r in runner.runners.items()
+        }
+        assert len(set(seeds.values())) == len(seeds)
+
+
+class TestObservability:
+    def test_per_pe_scoped_decisions(self):
+        job = heavy_worker_job()
+        _runner, _res, hub = run_job(job, periods=6)
+        scopes = {d.scope for d in hub.decisions()}
+        assert {"pe.ingest", "pe.worker", "pe.sinkpe", "job"} <= scopes
+
+    def test_job_trace_mode(self):
+        job = heavy_worker_job()
+        _runner, result, _hub = run_job(job, periods=4)
+        assert all(
+            o.mode == "job" for o in result.trace.observations
+        )
+        assert len(result.trace.observations) == 4

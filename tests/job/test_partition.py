@@ -1,0 +1,121 @@
+"""Partition-strategy routers: determinism, shares, skew."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.job.partition import (
+    BroadcastRouter,
+    ForwardRouter,
+    KeyHashRouter,
+    RoundRobinRouter,
+    ShuffleRouter,
+    make_router,
+)
+from repro.scenarios.schema import PartitionStrategy
+
+STRATEGIES = [
+    PartitionStrategy.ROUND_ROBIN,
+    PartitionStrategy.SHUFFLE,
+    PartitionStrategy.KEY_HASH,
+    PartitionStrategy.BROADCAST,
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_same_seed_same_routing(self, strategy):
+        a = make_router(strategy, 4, seed=99, key_space=64)
+        b = make_router(strategy, 4, seed=99, key_space=64)
+        assert [a.route(s) for s in range(2000)] == [
+            b.route(s) for s in range(2000)
+        ]
+        assert a.shares() == b.shares()
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [PartitionStrategy.SHUFFLE, PartitionStrategy.KEY_HASH],
+    )
+    def test_different_seed_different_routing(self, strategy):
+        a = make_router(strategy, 4, seed=1, key_space=64)
+        b = make_router(strategy, 4, seed=2, key_space=64)
+        assert [a.route(s) for s in range(500)] != [
+            b.route(s) for s in range(500)
+        ]
+
+    def test_rebuild_is_stateless(self):
+        """Routing depends only on (seed, seq) -- rebuilding a router
+        mid-stream (as the executor does on scale-out) cannot shift
+        earlier sequence numbers."""
+        a = make_router(PartitionStrategy.KEY_HASH, 4, seed=7)
+        before = [a.route(s) for s in range(100)]
+        again = make_router(PartitionStrategy.KEY_HASH, 4, seed=7)
+        assert [again.route(s) for s in range(100)] == before
+
+
+class TestSemantics:
+    def test_forward_is_identity(self):
+        r = ForwardRouter(1, seed=3)
+        assert r.route(0) == (0,)
+        assert r.shares() == (1.0,)
+        assert r.effective_replicas == 1.0
+
+    def test_forward_rejects_replication(self):
+        with pytest.raises(ValueError):
+            ForwardRouter(2, seed=0)
+
+    def test_round_robin_cycles(self):
+        r = RoundRobinRouter(3, seed=0)
+        assert [r.route(s)[0] for s in range(6)] == [0, 1, 2, 0, 1, 2]
+        assert r.shares() == pytest.approx((1 / 3,) * 3)
+        assert r.effective_replicas == pytest.approx(3.0)
+
+    def test_broadcast_hits_every_replica(self):
+        r = BroadcastRouter(3, seed=0)
+        assert r.route(17) == (0, 1, 2)
+        # Every replica carries the full stream (share 1.0 each), and
+        # each emits it in full, so aggregate emission is R-fold.
+        assert r.shares() == (1.0, 1.0, 1.0)
+        assert r.effective_replicas == pytest.approx(3.0)
+
+    def test_shuffle_is_roughly_balanced(self):
+        r = ShuffleRouter(4, seed=5)
+        assert sum(r.shares()) == pytest.approx(1.0)
+        assert max(r.shares()) < 0.35
+        assert r.effective_replicas > 3.0
+
+    def test_key_hash_same_key_same_replica(self):
+        r = KeyHashRouter(4, seed=11, key_space=32)
+        for seq in range(512):
+            key = r.key_of(seq)
+            (dest,) = r.route(seq)
+            for other in range(512, 1024):
+                if r.key_of(other) == key:
+                    assert r.route(other) == (dest,)
+
+    def test_small_key_space_skews_shares(self):
+        """Few keys over many replicas: the hot replica owns more
+        than its fair share, capping effective parallelism below R."""
+        skewed = KeyHashRouter(8, seed=11, key_space=8)
+        wide = KeyHashRouter(8, seed=11, key_space=4096)
+        assert max(skewed.shares()) > max(wide.shares())
+        assert skewed.effective_replicas < wide.effective_replicas
+        assert wide.effective_replicas <= 8.0
+
+    def test_make_router_dispatch(self):
+        assert isinstance(
+            make_router(PartitionStrategy.FORWARD, 1), ForwardRouter
+        )
+        assert isinstance(
+            make_router(PartitionStrategy.ROUND_ROBIN, 2),
+            RoundRobinRouter,
+        )
+        assert isinstance(
+            make_router(PartitionStrategy.SHUFFLE, 2), ShuffleRouter
+        )
+        assert isinstance(
+            make_router(PartitionStrategy.KEY_HASH, 2), KeyHashRouter
+        )
+        assert isinstance(
+            make_router(PartitionStrategy.BROADCAST, 2), BroadcastRouter
+        )

@@ -238,6 +238,8 @@ class TestRoundTrip:
             "workload",
             "channel",
             "machine",
+            "pes",
+            "partition",
             "run",
         }
         # nested specs are fully expanded, not elided
