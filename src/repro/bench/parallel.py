@@ -1,121 +1,19 @@
-"""Parallel experiment runner: fan independent sweep cells to processes.
+"""Compatibility shim: the parallel runner moved to
+:mod:`repro.runtime.pool`.
 
-The figure experiments are sweeps over independent configuration cells
-(payload x cores, operator-count x payload, ...).  Each cell is pure —
-it builds its own graph and machine from picklable arguments and
-returns picklable results — so the sweep fans out across a
-:class:`~concurrent.futures.ProcessPoolExecutor`, one task per cell,
-preserving cell order in the returned list.
-
-Determinism: a cell's random state is fully determined by the seed in
-its argument tuple (every cell builds its own ``numpy`` generator from
-it), so results are identical whether the sweep runs serially, in a
-pool, or in a pool of different width.  :func:`derive_seed` produces
-decorrelated per-cell seeds from a base seed and the cell's identity
-for sweeps that want distinct streams per cell; it hashes with BLAKE2
-so it is stable across processes and interpreter launches (unlike
-``hash()``, which is salted).
-
-Environments without POSIX semaphores or ``fork``/``spawn`` support
-(tight sandboxes) cannot host a process pool at all; pool
-*infrastructure* failures therefore degrade to an in-process serial
-run of the same cells.  Genuine worker errors are re-raised, not
-swallowed: the serial fallback re-executes cells from the start, so an
-error raised by the workload itself surfaces either way.
-
-``REPRO_PARALLEL=0`` forces serial execution (useful when profiling a
-sweep or debugging a cell); any other value, or an unset variable,
-enables the pool whenever a sweep has more than one cell.
+The sweep fan-out started life here as a bench-only helper; the
+multi-PE job executor now shares the same process-pool machinery, so
+the canonical home is the runtime layer.  Importers of the historical
+names keep working unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
-import struct
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
-
-from . import cache
-
-__all__ = ["derive_seed", "parallel_enabled", "run_cells"]
-
-# Pool-infrastructure failures that mean "this environment cannot run
-# a process pool", as opposed to errors raised by the workload itself.
-_POOL_INFRA_ERRORS = (
-    BrokenProcessPool,
-    OSError,
-    PermissionError,
-    ImportError,
-    pickle.PicklingError,
+from ..runtime.pool import (  # noqa: F401
+    _POOL_INFRA_ERRORS,
+    derive_seed,
+    parallel_enabled,
+    run_cells,
 )
 
-
-def derive_seed(base_seed: int, *key: Any) -> int:
-    """Stable, decorrelated seed for one sweep cell.
-
-    Hashes ``base_seed`` together with the cell's identifying values
-    (``repr``-encoded) into a 63-bit integer.  Unlike ``hash()``, the
-    result does not depend on ``PYTHONHASHSEED``, so a cell gets the
-    same seed in the parent, in a pool worker, and across runs.
-    """
-    h = hashlib.blake2b(digest_size=8)
-    h.update(struct.pack("<q", base_seed))
-    for part in key:
-        h.update(repr(part).encode())
-        h.update(b"\x00")
-    return int.from_bytes(h.digest(), "little") & 0x7FFFFFFFFFFFFFFF
-
-
-def parallel_enabled(override: Optional[bool] = None) -> bool:
-    """Whether sweeps should fan out to a process pool.
-
-    ``override`` wins when given; otherwise ``REPRO_PARALLEL=0`` (or
-    ``false``/``no``/``off``) disables, and anything else enables.
-    """
-    if override is not None:
-        return override
-    flag = os.environ.get("REPRO_PARALLEL", "1").strip().lower()
-    return flag not in ("0", "false", "no", "off")
-
-
-def _invoke(task: Tuple[Callable[..., Any], Tuple[Any, ...]]) -> Any:
-    worker, cell = task
-    return worker(*cell)
-
-
-def run_cells(
-    worker: Callable[..., Any],
-    cells: Iterable[Sequence[Any]],
-    parallel: Optional[bool] = None,
-    max_workers: Optional[int] = None,
-) -> List[Any]:
-    """Run ``worker(*cell)`` for every cell, results in cell order.
-
-    ``worker`` must be a module-level (picklable) callable and each
-    cell a tuple of picklable arguments.  Falls back to an in-process
-    serial loop when the pool cannot be created or torn up mid-sweep
-    (see module docstring); worker errors propagate unchanged.
-    """
-    cell_list = [tuple(cell) for cell in cells]
-    if len(cell_list) < 2 or not parallel_enabled(parallel):
-        return [worker(*cell) for cell in cell_list]
-    workers = max_workers or min(len(cell_list), os.cpu_count() or 1)
-    # Seed workers with the parent's memoized measurement cells
-    # (repro.bench.cache): a sweep re-running a grid the parent has
-    # already (partially) computed skips those cells in every worker.
-    seed_cache = cache.snapshot() if cache.memo_enabled() else {}
-    pool_kwargs = (
-        {"initializer": cache.install, "initargs": (seed_cache,)}
-        if seed_cache
-        else {}
-    )
-    try:
-        with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
-            return list(
-                pool.map(_invoke, [(worker, c) for c in cell_list])
-            )
-    except _POOL_INFRA_ERRORS:
-        return [worker(*cell) for cell in cell_list]
+__all__ = ["derive_seed", "parallel_enabled", "run_cells"]

@@ -315,6 +315,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--dir", default=None, help="scenario directory (default: zoo)"
     )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker-pool width for multi-PE scenarios (1 forces the "
+            "sequential path; default: the scenario's run.jobs, then "
+            "REPRO_JOB_WORKERS, then 1)"
+        ),
+    )
 
     run = sub.add_parser("run", help="run a figure experiment")
     run.add_argument("experiment", help="e.g. fig09, fig15a")

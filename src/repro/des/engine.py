@@ -94,6 +94,16 @@ _CORE_SLICE = 32
 # simulator events.  DEFAULT_CHANNEL.batch_size (8) reproduces the
 # historical _CLAIM_BATCH behaviour exactly.
 
+# Vectorized locked-region path: a region whose locks can never be
+# contended (every lock-using member operator is reachable from this
+# region alone, so the port/source-thread serialization already makes
+# the lock private) joins the burst fast path — the uncontended
+# acquire/release pair reduces to ``lock_s`` of simulated time per
+# acquisition plus an ``acquisitions`` tally, both of which batch.
+# Flip this off to restore the per-tuple slow path (equivalence tests
+# compare the two).
+LOCKED_FAST = True
+
 # Processes may yield kernel Request objects or bare float delays.
 _Req = Generator[object, object, None]
 
@@ -111,12 +121,17 @@ class _RegionPlan:
     are ``(queue, credit_key, credit_incr, cost_per_push)``.
 
     A region is ``fast`` when executing one entry tuple needs no
-    per-operator bookkeeping at all: no member operator takes a lock
-    and it emits at most one downstream tuple per entry tuple (unit
-    selectivity, single push target).  Such a region collapses to a
-    single precomputed time delta (``flat_dt``), an optional
-    synchronous push (``push`` is ``(queue, queue_op, cost)``) and a
-    sink-credit constant — one simulator event per executed tuple.
+    per-operator bookkeeping at all: it emits at most one downstream
+    tuple per entry tuple (unit selectivity, single push target) and
+    either no member operator takes a lock, or every lock taken is
+    *uncontendable* (``threads_reaching == 1``: the region's own
+    serialization makes the lock private, so acquire/release is pure
+    bookkeeping — ``lock_acq`` lists those locks and the burst path
+    batches their ``acquisitions`` tally).  Such a region collapses to
+    a single precomputed time delta (``flat_dt`` plus ``lock_s`` per
+    private lock), an optional synchronous push (``push`` is
+    ``(queue, queue_op, cost)``) and a sink-credit constant — one
+    simulator event per executed burst.
 
     ``prof_ops``/``prof_bounds_src``/``prof_bounds_sched`` describe one
     executed tuple of a fast region as a cycle of attribution segments
@@ -151,6 +166,7 @@ class _RegionPlan:
     burst_sched: Tuple[float, ...] = (0.0,)
     max_burst_src: int = 1
     max_burst_sched: int = 1
+    lock_acq: Tuple[SimLock, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -227,6 +243,7 @@ class DesEngine:
         arrivals: Optional[Dict[int, Iterator[float]]] = None,
         overflow: str = "block",
         channel: Optional[ChannelConfig] = None,
+        locked_fast: Optional[bool] = None,
     ) -> None:
         """``arrivals`` maps source operator index -> an **infinite**
         iterator of absolute arrival times (simulation seconds), making
@@ -241,7 +258,9 @@ class DesEngine:
         channels (burst size, flush timeout, prefetch, analytic
         fast-forward — see :class:`~repro.des.channels.ChannelConfig`);
         ``None`` means :data:`~repro.des.channels.DEFAULT_CHANNEL`,
-        byte-compatible with historical runs.
+        byte-compatible with historical runs.  ``locked_fast`` opts a
+        region with only uncontendable locks into the burst fast path
+        (default: the module-level :data:`LOCKED_FAST` flag).
         """
         if scheduler_threads < 0:
             raise ValueError(
@@ -257,6 +276,9 @@ class DesEngine:
         self.scheduler_threads = scheduler_threads
         self.queue_capacity = queue_capacity
         self.channel = channel if channel is not None else DEFAULT_CHANNEL
+        self.locked_fast = (
+            LOCKED_FAST if locked_fast is None else locked_fast
+        )
         self.decomposition = decompose(graph, placement)
 
         self.sim = Simulator()
@@ -407,18 +429,43 @@ class DesEngine:
             for queue_op, push_rate in region.push_rates
         )
         ops_t = tuple(ops)
-        fast = all(lock is None for _i, _dt, lock, _s in ops_t) and (
-            not pushes or (len(pushes) == 1 and pushes[0][2] == 1.0)
+        lock_s = machine.lock_uncontended_s
+        locks = tuple(
+            lock for _i, _dt, lock, _s in ops_t if lock is not None
         )
+        push_ok = not pushes or (
+            len(pushes) == 1 and pushes[0][2] == 1.0
+        )
+        # A lock is uncontendable when this region is the only one
+        # whose execution reaches the operator: region serialization
+        # (the source thread / the queue port) already makes it
+        # private, so acquire/release never blocks and reduces to
+        # ``lock_s`` of time plus an ``acquisitions`` tally — both of
+        # which the burst tables batch (the vectorized locked path).
+        uncontended = all(
+            self.decomposition.threads_reaching(op_idx) <= 1
+            for op_idx, _dt, lock, _s in ops_t
+            if lock is not None
+        )
+        fast = push_ok and (
+            not locks or (self.locked_fast and uncontended)
+        )
+        lock_acq = locks if fast else ()
         # Sampled-accounting cycles: one executed tuple laid out as
         # consecutive attribution segments, mirroring where the
-        # fine-grained path would be caught at each instant.
+        # fine-grained path would be caught at each instant.  Locked
+        # operators carry their uncontended acquire cost, exactly as
+        # the per-tuple path folds ``lock_s`` into the locked
+        # operator's own timeout.
         prof_ops: Optional[Tuple[Optional[int], ...]] = None
         prof_bounds_src: Optional[Tuple[float, ...]] = None
         prof_bounds_sched: Optional[Tuple[float, ...]] = None
         if fast:
             seg_ops: List[Optional[int]] = [i for i, _dt, _l, _s in ops_t]
-            seg_durs: List[float] = [dt for _i, dt, _l, _s in ops_t]
+            seg_durs: List[float] = [
+                dt if lk is None else dt + lock_s
+                for _i, dt, lk, _s in ops_t
+            ]
             if pushes:
                 # Push-copy time is attributed to no operator, as the
                 # fine-grained path publishes idle before pushing.
@@ -456,11 +503,14 @@ class DesEngine:
         burst_sched: Tuple[float, ...] = (0.0, flat_dt)
         if fast:
             push_cost_fast = pushes[0][3] if pushes else 0.0
-            tup_src = flat_dt + push_cost_fast
+            fast_dt = flat_dt
+            if lock_acq:
+                fast_dt = flat_dt + lock_s * len(lock_acq)
+            tup_src = fast_dt + push_cost_fast
             tup_sched = (
                 machine.scan_time(len(self._queue_order))
                 + machine.lock_uncontended_s
-                + flat_dt
+                + fast_dt
                 + push_cost_fast
             )
             max_src = channel.max_burst(tup_src)
@@ -495,6 +545,7 @@ class DesEngine:
             burst_sched=burst_sched,
             max_burst_src=max_src,
             max_burst_sched=max_sched,
+            lock_acq=lock_acq,
         )
 
     def _region_work(
@@ -695,6 +746,8 @@ class DesEngine:
                 if plan.sink_total:
                     self._sink_count += plan.sink_total * b
                     self._m_sink.inc(plan.sink_total * b)
+                for lk in plan.lock_acq:
+                    lk.acquisitions += b
                 self._source_count += b
                 self._m_source.inc(b)
             else:
@@ -729,15 +782,18 @@ class DesEngine:
         rather than spinning, so underloaded PEs burn no simulated
         CPU — which is what makes offered-load utilization measurable.
 
-        Under ``block`` the fast path coalesces the *already-due*
-        backlog into one burst per event, capped exactly like the
-        saturated path (``min(_CLAIM_BATCH, slice_left)``).  When the
-        schedule outruns the PE this reproduces the saturated source's
-        event structure — and therefore its timing — so a saturating
-        open-loop schedule yields the same measurements (and the same
-        adaptation decisions) as the classic closed-loop run.  ``drop``
-        keeps strict per-arrival admission: each arrival's shed check
-        must see the queue state at its own admission instant.
+        Under ``block`` the fast path coalesces the due backlog into
+        one burst per event, capped exactly like the saturated path
+        (``min(max_burst, slice_left)``); an arrival counts as due when
+        it lands by its own processing slot within the burst, since a
+        busy source keeps processing while later arrivals stream in.
+        When the schedule outruns the PE this reproduces the saturated
+        source's event structure — and therefore its timing — so a
+        saturating open-loop schedule yields the same measurements (and
+        the same adaptation decisions) as the classic closed-loop run.
+        ``drop`` keeps strict per-arrival admission: each arrival's
+        shed check must see the queue state at its own admission
+        instant.
         """
         sim = self.sim
         name = f"src:{region.entry}"
@@ -789,14 +845,25 @@ class DesEngine:
             if plan.fast and fast_ok:
                 b = 1
                 if not drop:
-                    # Admit the due backlog as one burst (see above).
+                    # Admit the backlog as one burst (see above).  A
+                    # busy source keeps processing while later arrivals
+                    # land, so an arrival joins the burst when it is due
+                    # by its own processing slot — the instant the
+                    # already-committed ``b`` tuples finish
+                    # (``burst_src[b]`` from now) — not merely when it
+                    # is due at the burst's start.  Without the
+                    # lookahead a saturating schedule opens with
+                    # undersized bursts (nothing is due yet at t=0) and
+                    # the transient never matches the closed-loop event
+                    # structure.
+                    burst_src = plan.burst_src
                     b_max = min(plan.max_burst_src, slice_left)
                     while b < b_max:
                         try:
                             nxt = next(arrivals)
                         except StopIteration:  # pragma: no cover
                             break
-                        if nxt > sim.now:
+                        if nxt > sim.now + burst_src[b]:
                             pending = nxt
                             break
                         b += 1
@@ -827,6 +894,8 @@ class DesEngine:
                 if plan.sink_total:
                     self._sink_count += plan.sink_total * b
                     self._m_sink.inc(plan.sink_total * b)
+                for lk in plan.lock_acq:
+                    lk.acquisitions += b
                 self._source_count += b
                 self._m_source.inc(b)
             else:
@@ -975,6 +1044,8 @@ class DesEngine:
                     if plan.sink_total:
                         self._sink_count += plan.sink_total * k
                         self._m_sink.inc(plan.sink_total * k)
+                    for lk in plan.lock_acq:
+                        lk.acquisitions += k
                     if (
                         bursts_left <= 0
                         or slice_left <= 0

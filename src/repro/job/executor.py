@@ -40,6 +40,18 @@ derived — shaped channels couple from the very first period.  Derived
 rates are quantized to 4 significant digits so the measurement
 memoizer sees stable keys across periods that converged to the same
 coupling.
+
+Parallel execution (``jobs > 1``): PEs whose ingress schedules are
+mutually independent this period — the same channel-topology wave,
+i.e. every shaped upstream already measured in an earlier wave —
+dispatch concurrently to a sticky :class:`~repro.runtime.pool.
+WorkerPool`.  Each worker owns its PEs' runners for the whole run
+(simulator and coordinator state never pickle between periods; only
+ingress rates out and small report records back), and the parent
+re-homes every worker-side decision, metric and memo cell in
+deterministic PE order at the end of the period, so a parallel run is
+byte-identical to a sequential one.  ``forward`` jobs have no
+coupling at all, so every PE lands in one wave.
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from ..bench import cache
 from ..des.adaptation import DesAdaptationResult, DesAdaptationRunner
 from ..des.channels import ChannelConfig
 from ..obs.hub import Obs, ensure_hub
@@ -54,6 +67,7 @@ from ..obs.scope import scoped
 from ..perfmodel.machine import MachineProfile
 from ..runtime.config import RuntimeConfig
 from ..runtime.events import AdaptationTrace, Observation
+from ..runtime.pool import POOL_START_ERRORS, WorkerPoolError, job_workers
 from ..scenarios.arrivals import ArrivalProcess
 from ..scenarios.schema import ArrivalKind, ArrivalSpec, PartitionStrategy
 from .coordinator import JobCoordinator, PeSummary
@@ -69,6 +83,119 @@ _CHANNEL_SEED_STRIDE = 1_000_003
 def _quantize(rate: float) -> float:
     """4 significant digits: stable cache keys, sub-SENS rate error."""
     return float(f"{rate:.4g}")
+
+
+# ----------------------------------------------------------------------
+# Per-PE construction and arrival plumbing, shared with the pool
+# workers (repro.job.parallel): a worker must build *exactly* the
+# runner the parent would, from the same picklable ingredients, or the
+# byte-identity guarantee breaks.
+# ----------------------------------------------------------------------
+def pe_seed(config: RuntimeConfig, index: int) -> int:
+    """Seed of the ``index``-th PE (topological order)."""
+    return config.seed + _PE_SEED_STRIDE * index
+
+
+def real_source_factory(job: JobGraph, arrivals_factory, pe: PeSubgraph):
+    """Scenario open-loop arrivals, re-keyed from full-graph source
+    indices to this PE's subgraph indices."""
+    if arrivals_factory is None:
+        return None
+    full = job.full_graph
+    mapping = []  # (full_index, sub_index)
+    for op in pe.graph.sources:
+        if op.name.startswith("in:"):
+            continue
+        mapping.append((full.by_name(op.name).index, op.index))
+    if not mapping:
+        return None
+
+    def pe_factory(t0: float):
+        streams = arrivals_factory(t0)
+        return {
+            sub_idx: streams[full_idx]
+            for full_idx, sub_idx in mapping
+            if full_idx in streams
+        }
+
+    return pe_factory
+
+
+def real_source_key(
+    arrivals_factory, arrivals_key: Optional[Tuple], pe: PeSubgraph
+) -> Optional[Tuple]:
+    if arrivals_factory is None or arrivals_key is None:
+        return None
+    if not any(
+        not op.name.startswith("in:") for op in pe.graph.sources
+    ):
+        return None
+    return ("job-real", pe.name, arrivals_key)
+
+
+def derived_arrivals(
+    pe: PeSubgraph,
+    seed: int,
+    rates: Optional[Dict[int, float]],
+    real_factory,
+    real_key: Optional[Tuple],
+):
+    """This period's arrival schedule for one PE: derived constant-rate
+    streams on the ingress pseudo-sources, merged with any real-source
+    scenario arrivals.  Returns ``(factory, cache_key)``."""
+    if rates is None:
+        return real_factory, real_key
+    procs = {
+        idx: ArrivalProcess(
+            ArrivalSpec(kind=ArrivalKind.DETERMINISTIC, rate=rate),
+            seed=seed + idx,
+        )
+        for idx, rate in rates.items()
+        if rate > 0.0
+    }
+
+    def factory(t0: float):
+        streams = {
+            idx: proc.arrival_stream(t0)
+            for idx, proc in procs.items()
+        }
+        if real_factory is not None:
+            streams.update(real_factory(t0))
+        return streams
+
+    key: Tuple = (
+        "job-ingress",
+        pe.name,
+        tuple(sorted(rates.items())),
+    )
+    if real_key is not None:
+        key += (real_key,)
+    return factory, key
+
+
+def build_pe_runner(
+    job: JobGraph,
+    machine: MachineProfile,
+    config: RuntimeConfig,
+    index: int,
+    pe: PeSubgraph,
+    runner_kwargs: Dict,
+    arrivals_factory,
+    arrivals_key: Optional[Tuple],
+    obs: Optional[Obs],
+) -> DesAdaptationRunner:
+    """One PE's runner, identical whether built in the parent or in a
+    pool worker (given the same picklable arguments)."""
+    pe_config = replace(config, seed=pe_seed(config, index))
+    return DesAdaptationRunner(
+        pe.graph,
+        machine,
+        pe_config,
+        obs=scoped(obs, f"pe.{pe.name}"),
+        arrivals_factory=real_source_factory(job, arrivals_factory, pe),
+        arrivals_key=real_source_key(arrivals_factory, arrivals_key, pe),
+        **runner_kwargs,
+    )
 
 
 @dataclass(frozen=True)
@@ -108,6 +235,7 @@ class JobAdaptationRunner:
         overflow: str = "block",
         channel: Optional[ChannelConfig] = None,
         thread_budget: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.job = job
         self.machine = machine
@@ -115,6 +243,18 @@ class JobAdaptationRunner:
         self._hub = ensure_hub(obs)
         self._arrivals_factory = arrivals_factory
         self._arrivals_key = arrivals_key
+        # Worker-pool width: the ``jobs`` argument (e.g. the CLI's
+        # ``--jobs``) wins, then REPRO_JOB_WORKERS, then 1 (sequential).
+        self.jobs = job_workers(jobs)
+        self._runner_kwargs = dict(
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            queue_capacity=queue_capacity,
+            profile_from_execution=profile_from_execution,
+            sampled_profiling=sampled_profiling,
+            overflow=overflow,
+            channel=channel,
+        )
         self.coordinator = JobCoordinator(
             obs=self._hub, thread_budget=thread_budget
         )
@@ -124,24 +264,17 @@ class JobAdaptationRunner:
         self.runners: Dict[str, DesAdaptationRunner] = {}
         self._pe_seeds: Dict[str, int] = {}
         for i, pe in enumerate(job.pes):
-            pe_config = replace(
-                self.config, seed=self.config.seed + _PE_SEED_STRIDE * i
-            )
-            self._pe_seeds[pe.name] = pe_config.seed
-            self.runners[pe.name] = DesAdaptationRunner(
-                pe.graph,
+            self._pe_seeds[pe.name] = pe_seed(self.config, i)
+            self.runners[pe.name] = build_pe_runner(
+                job,
                 machine,
-                pe_config,
-                warmup_s=warmup_s,
-                measure_s=measure_s,
-                queue_capacity=queue_capacity,
-                profile_from_execution=profile_from_execution,
-                sampled_profiling=sampled_profiling,
-                obs=scoped(self._hub, f"pe.{pe.name}"),
-                arrivals_factory=self._real_source_factory(pe),
-                arrivals_key=self._real_source_key(pe),
-                overflow=overflow,
-                channel=channel,
+                self.config,
+                i,
+                pe,
+                self._runner_kwargs,
+                arrivals_factory,
+                arrivals_key,
+                self._hub,
             )
         self._routers: Dict[int, Router] = {}
         self._rebuild_routers()
@@ -159,44 +292,25 @@ class JobAdaptationRunner:
         self._installed_rate: Dict[str, Optional[float]] = {
             pe.name: None for pe in job.pes
         }
+        # Per-PE coordinator stability as of the last completed period
+        # (mirrored from worker reports in parallel mode).
+        self._pe_stable: Dict[str, bool] = {}
         self.trace = AdaptationTrace.empty()
+        # Live parallel session while run() drives a worker pool, and
+        # the per-PE results it fetched at the end of the run.
+        self._session = None
+        self._pe_results: Optional[Dict[str, DesAdaptationResult]] = None
 
     # ------------------------------------------------------------------
     # arrival plumbing
     # ------------------------------------------------------------------
     def _real_source_factory(self, pe: PeSubgraph):
-        """Scenario open-loop arrivals, re-keyed from full-graph source
-        indices to this PE's subgraph indices."""
-        if self._arrivals_factory is None:
-            return None
-        full = self.job.full_graph
-        mapping = []  # (full_index, sub_index)
-        for op in pe.graph.sources:
-            if op.name.startswith("in:"):
-                continue
-            mapping.append((full.by_name(op.name).index, op.index))
-        if not mapping:
-            return None
-        factory = self._arrivals_factory
-
-        def pe_factory(t0: float):
-            streams = factory(t0)
-            return {
-                sub_idx: streams[full_idx]
-                for full_idx, sub_idx in mapping
-                if full_idx in streams
-            }
-
-        return pe_factory
+        return real_source_factory(self.job, self._arrivals_factory, pe)
 
     def _real_source_key(self, pe: PeSubgraph) -> Optional[Tuple]:
-        if self._arrivals_factory is None or self._arrivals_key is None:
-            return None
-        if not any(
-            not op.name.startswith("in:") for op in pe.graph.sources
-        ):
-            return None
-        return ("job-real", pe.name, self._arrivals_key)
+        return real_source_key(
+            self._arrivals_factory, self._arrivals_key, pe
+        )
 
     def _router_seed(self, channel_index: int) -> int:
         base = self.job.partition.seed
@@ -247,46 +361,76 @@ class JobAdaptationRunner:
     def _install_arrivals(
         self, pe: PeSubgraph, rates: Optional[Dict[int, float]]
     ) -> None:
-        """Point the PE's runner at this period's arrival schedule:
-        derived constant-rate streams on the ingress pseudo-sources,
-        merged with any real-source scenario arrivals."""
-        runner = self.runners[pe.name]
-        real_factory = self._real_source_factory(pe)
-        if rates is None:
-            runner.set_arrivals(
-                real_factory, self._real_source_key(pe)
-            )
-            return
-        seed = self._pe_seeds[pe.name]
-        procs = {
-            idx: ArrivalProcess(
-                ArrivalSpec(
-                    kind=ArrivalKind.DETERMINISTIC, rate=rate
-                ),
-                seed=seed + idx,
-            )
-            for idx, rate in rates.items()
-            if rate > 0.0
-        }
-
-        def factory(t0: float):
-            streams = {
-                idx: proc.arrival_stream(t0)
-                for idx, proc in procs.items()
-            }
-            if real_factory is not None:
-                streams.update(real_factory(t0))
-            return streams
-
-        key: Tuple = (
-            "job-ingress",
-            pe.name,
-            tuple(sorted(rates.items())),
+        """Point the PE's runner at this period's arrival schedule."""
+        factory, key = derived_arrivals(
+            pe,
+            self._pe_seeds[pe.name],
+            rates,
+            self._real_source_factory(pe),
+            self._real_source_key(pe),
         )
-        real_key = self._real_source_key(pe)
-        if real_key is not None:
-            key += (real_key,)
-        runner.set_arrivals(factory, key)
+        self.runners[pe.name].set_arrivals(factory, key)
+
+    # ------------------------------------------------------------------
+    # parallel dispatch topology
+    # ------------------------------------------------------------------
+    def _waves(self) -> Tuple[Tuple[PeSubgraph, ...], ...]:
+        """PEs grouped into concurrently-dispatchable waves.
+
+        A PE's ingress schedule for period ``k`` is fixed as soon as
+        every shaped upstream has been measured *this* period, so a
+        wave is one channel-topology layer: all its members' derived
+        rates are already quantized and installed by the time it
+        dispatches.  ``forward`` jobs never shape, so every PE's
+        schedule is fixed a priori — one wave, maximal parallelism.
+        """
+        if (
+            self.job.partition.strategy is PartitionStrategy.FORWARD
+            or not self.job.channels
+        ):
+            return (tuple(self.job.pes),)
+        depth: Dict[str, int] = {}
+        for pe in self.job.pes:  # topological order
+            incoming = self.job.channels_into(pe.name)
+            depth[pe.name] = 1 + max(
+                (depth[c.src_pe] for c in incoming), default=-1
+            )
+        waves: List[Tuple[PeSubgraph, ...]] = []
+        for level in range(max(depth.values()) + 1):
+            wave = tuple(
+                pe for pe in self.job.pes if depth[pe.name] == level
+            )
+            if wave:
+                waves.append(wave)
+        return tuple(waves)
+
+    def _start_session(self):
+        """Spin up the sticky worker pool, or None for the sequential
+        path (requested width < 2, or pool infrastructure unavailable
+        in this environment — same graceful degradation as
+        :func:`repro.runtime.pool.run_cells`)."""
+        n_workers = min(self.jobs, len(self.job.pes))
+        if n_workers < 2:
+            return None
+        from .parallel import JobWorkerSession
+
+        try:
+            return JobWorkerSession(
+                job=self.job,
+                machine=self.machine,
+                config=self.config,
+                runner_kwargs=self._runner_kwargs,
+                arrivals_factory=self._arrivals_factory,
+                arrivals_key=self._arrivals_key,
+                detached=not self._hub.enabled,
+                n_workers=n_workers,
+            )
+        except POOL_START_ERRORS + (WorkerPoolError,):
+            # A worker that cannot even construct its runners points
+            # at the environment, not the workload: the sequential
+            # path re-runs the same construction in-process, so a
+            # genuine bug resurfaces there with a plain traceback.
+            return None
 
     # ------------------------------------------------------------------
     # the lockstep loop
@@ -297,31 +441,39 @@ class JobAdaptationRunner:
         job throughput observed this period."""
         period_s = self.config.elasticity.adaptation_period_s
         self._hub.tick(k * period_s)
+        if self._session is not None:
+            reports = self._period_parallel(k)
+        else:
+            reports = self._period_sequential(k)
+        # Ordered pass: re-home worker-side effects and build the
+        # coordinator's view in deterministic PE order, so the merged
+        # decision log is identical however the period executed.
         job_throughput = 0.0
         summaries: List[PeSummary] = []
         for pe in self.job.pes:
-            runner = self.runners[pe.name]
-            rates, effective = self._ingress_schedule(pe)
-            self._install_arrivals(pe, rates)
-            self._installed_rate[pe.name] = (
-                sum(rates.values()) if rates else None
+            rep = reports[pe.name]
+            if self._session is not None:
+                self._absorb_report(pe, rep)
+            job_throughput += (
+                rep["observed"]
+                * rep["effective"]
+                * pe.real_sink_weight()
             )
-            observed = runner.step_period(k)
-            aggregate = observed * effective
-            self._emission[pe.name] = aggregate
-            job_throughput += aggregate * pe.real_sink_weight()
             summaries.append(
                 PeSummary(
                     name=pe.name,
                     replicas=self.replicas[pe.name],
                     max_replicas=pe.max_replicas,
                     elastic=pe.elastic,
-                    offered_utilization=self._offered_utilization(pe),
-                    mean_utilization=runner.last_mean_utilization,
-                    threads=runner.threads,
-                    stable=runner.coordinator.is_stable,
+                    offered_utilization=self._offered_utilization(
+                        pe.name, rep
+                    ),
+                    mean_utilization=rep["mean_util"],
+                    threads=rep["threads"],
+                    stable=rep["stable"],
                 )
             )
+            self._pe_stable[pe.name] = rep["stable"]
         action = self.coordinator.step(summaries, job_throughput)
         if action.changed:
             self.replicas.update(action.set_replicas)
@@ -339,7 +491,75 @@ class JobAdaptationRunner:
         )
         return job_throughput
 
-    def _offered_utilization(self, pe: PeSubgraph) -> float:
+    def _period_sequential(self, k: int) -> Dict[str, Dict]:
+        """One period, PE by PE in topological order (classic path)."""
+        reports: Dict[str, Dict] = {}
+        for pe in self.job.pes:
+            runner = self.runners[pe.name]
+            rates, effective = self._ingress_schedule(pe)
+            self._install_arrivals(pe, rates)
+            self._installed_rate[pe.name] = (
+                sum(rates.values()) if rates else None
+            )
+            observed = runner.step_period(k)
+            self._emission[pe.name] = observed * effective
+            reports[pe.name] = {
+                "observed": observed,
+                "effective": effective,
+                "threads": runner.threads,
+                "stable": runner.coordinator.is_stable,
+                "offered_util": runner.last_offered_utilization,
+                "mean_util": runner.last_mean_utilization,
+                "source_rate": runner.last_source_rate,
+            }
+        return reports
+
+    def _period_parallel(self, k: int) -> Dict[str, Dict]:
+        """One period, fanning each wave across the worker pool.
+
+        Emission updates happen as each wave collects, so the next
+        wave's derived rates see exactly what the sequential loop
+        would have; everything hub-visible inside the reports is
+        deferred to the ordered pass in :meth:`step_period`.
+        """
+        session = self._session
+        reports: Dict[str, Dict] = {}
+        for wave in self._wave_list:
+            dispatched = []
+            for pe in wave:
+                rates, effective = self._ingress_schedule(pe)
+                self._installed_rate[pe.name] = (
+                    sum(rates.values()) if rates else None
+                )
+                session.submit_step(pe.name, k, rates)
+                dispatched.append((pe, effective))
+            for pe, effective in dispatched:
+                rep = session.collect_step(pe.name)
+                rep["effective"] = effective
+                self._emission[pe.name] = rep["observed"] * effective
+                reports[pe.name] = rep
+        return reports
+
+    def _absorb_report(self, pe: PeSubgraph, rep: Dict) -> None:
+        """Re-home one worker report into the parent's state: replay
+        decisions (the parent hub's clock assigns seq/period), merge
+        scoped metric states, install fresh memo cells, and mirror the
+        runner attributes other layers read."""
+        for fields in rep["decisions"]:
+            self._hub.decision(**fields)
+        if rep["metrics"] and self._hub.enabled:
+            self._hub.registry.merge_state(rep["metrics"])
+        if rep["cache"]:
+            cache.install(rep["cache"])
+        runner = self.runners[pe.name]
+        runner.threads = rep["threads"]
+        runner.placement = rep["placement"]
+        runner.last_offered_utilization = rep["offered_util"]
+        runner.last_mean_utilization = rep["mean_util"]
+        runner.last_source_rate = rep["source_rate"]
+        runner.sim_events = rep["sim_events"]
+
+    def _offered_utilization(self, pe_name: str, rep: Dict) -> float:
         """Offered-load utilization of the PE's hot replica.
 
         When the executor installed a derived ingress rate, the
@@ -347,11 +567,10 @@ class JobAdaptationRunner:
         own figure saturates at ~1.0 under ``block`` backpressure);
         otherwise fall through to the engine's measurement.
         """
-        runner = self.runners[pe.name]
-        installed = self._installed_rate[pe.name]
-        util = runner.last_offered_utilization
+        installed = self._installed_rate[pe_name]
+        util = rep["offered_util"]
         if installed is not None and installed > 0.0:
-            util = min(util, runner.last_source_rate / installed)
+            util = min(util, rep["source_rate"] / installed)
         return min(1.0, util)
 
     def _total_threads(self) -> int:
@@ -370,9 +589,11 @@ class JobAdaptationRunner:
     @property
     def is_stable(self) -> bool:
         """All PE coordinators settled and the job loop held still."""
-        return all(
-            r.coordinator.is_stable for r in self.runners.values()
-        ) and not getattr(self, "_job_changed", False)
+        if len(self._pe_stable) < len(self.job.pes):
+            return False
+        return all(self._pe_stable.values()) and not getattr(
+            self, "_job_changed", False
+        )
 
     def run(
         self,
@@ -384,25 +605,42 @@ class JobAdaptationRunner:
         if max_periods is None:
             max_periods = 120
         self.trace = AdaptationTrace.empty()
-        for runner in self.runners.values():
-            runner.begin_run()
-        stable_streak = 0
-        for k in range(1, max_periods + 1):
-            self.step_period(k)
-            if stop_after_stable_periods is not None:
-                if self.is_stable:
-                    stable_streak += 1
-                    if stable_streak >= stop_after_stable_periods:
-                        break
-                else:
-                    stable_streak = 0
+        self._pe_results = None
+        self._pe_stable = {}
+        self._session = self._start_session()
+        try:
+            if self._session is None:
+                for runner in self.runners.values():
+                    runner.begin_run()
+            else:
+                self._wave_list = self._waves()
+                self._session.begin()
+            stable_streak = 0
+            for k in range(1, max_periods + 1):
+                self.step_period(k)
+                if stop_after_stable_periods is not None:
+                    if self.is_stable:
+                        stable_streak += 1
+                        if stable_streak >= stop_after_stable_periods:
+                            break
+                    else:
+                        stable_streak = 0
+            if self._session is not None:
+                self._pe_results = self._session.finish()
+        finally:
+            if self._session is not None:
+                self._session.close()
+                self._session = None
         return self.result()
 
     def result(self) -> JobAdaptationResult:
-        pe_results = {
-            name: runner.result()
-            for name, runner in self.runners.items()
-        }
+        if self._pe_results is not None:
+            pe_results = dict(self._pe_results)
+        else:
+            pe_results = {
+                name: runner.result()
+                for name, runner in self.runners.items()
+            }
         return JobAdaptationResult(
             trace=self.trace,
             pe_results=pe_results,

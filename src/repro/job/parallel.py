@@ -1,0 +1,269 @@
+"""Sticky-worker execution of multi-PE adaptation periods.
+
+The parent :class:`~repro.job.executor.JobAdaptationRunner` owns the
+lockstep loop, the channel routers and the job coordinator; this
+module owns everything that runs *inside* a
+:class:`~repro.runtime.pool.WorkerPool` worker.  The contract that
+makes parallel runs byte-identical to sequential ones:
+
+- **sticky state** — each worker builds its PEs'
+  :class:`~repro.des.adaptation.DesAdaptationRunner`s once (via the
+  same :func:`~repro.job.executor.build_pe_runner` the parent uses)
+  and keeps them for the whole run, so simulator, coordinator and
+  profiler state never pickle between periods.  PEs map to workers
+  round-robin in topological order — a pure function of the job and
+  the pool width, so the assignment is reproducible;
+- **small records over the pipe** — per period-step a worker receives
+  ``(pe_name, k, ingress_rates)`` and returns the observed throughput
+  plus the *deltas* the parent must re-home: decision field records
+  (seq/time/period stripped — the parent hub's clock re-assigns
+  them), changed ``pe.<name>.``-scoped metric states, and memo cells
+  created this step (so the parent's cache ends bit-identical to a
+  sequential run's);
+- **worker-local hub** — workers publish into a private
+  :class:`~repro.obs.hub.ObservabilityHub` (or the null hub when the
+  parent is detached, preserving detached-mode freedom).  The
+  worker's unscoped ``loop.*`` bookkeeping is deliberately *not*
+  shipped: the parent's decision replay regenerates it.
+
+Worker death (a crashed process, an OOM kill) surfaces as
+:class:`~repro.runtime.pool.WorkerPoolError` from the pool with the
+exit code; a worker-side exception ships its full traceback.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, Optional, Tuple
+
+from ..bench import cache
+from ..obs.decisions import Decision
+from ..obs.hub import NULL_HUB, ObservabilityHub
+from ..runtime.pool import WorkerPool
+from .executor import (
+    build_pe_runner,
+    derived_arrivals,
+    pe_seed,
+    real_source_factory,
+    real_source_key,
+)
+
+__all__ = ["JobWorkerSession"]
+
+
+def _decision_fields(d: Decision) -> Dict:
+    """A decision without its parent-assigned identity (seq, time,
+    period) — exactly the keyword set ``ObservabilityHub.decision``
+    accepts, so the parent can replay it under its own clock."""
+    return {
+        "component": d.component,
+        "mode": d.mode,
+        "rule": d.rule,
+        "detail": d.detail,
+        "observed": d.observed,
+        "trend": d.trend,
+        "history_hit": d.history_hit,
+        "satisfaction": d.satisfaction,
+        "set_threads": d.set_threads,
+        "set_n_queues": d.set_n_queues,
+        "note": d.note,
+        "scope": d.scope,
+    }
+
+
+class _WorkerState:
+    """Everything one sticky worker keeps between calls."""
+
+    def __init__(self, hub) -> None:
+        self.hub = hub
+        self.runners: Dict[str, object] = {}
+        self.pes: Dict[str, object] = {}
+        self.seeds: Dict[str, int] = {}
+        self.real: Dict[str, Tuple] = {}  # (factory, key) per PE
+        self.decisions_seen = 0
+        self.metric_baseline: Dict[str, dict] = {}
+        self.shipped_cache_keys: set = set()
+
+
+def _init_job_worker(
+    worker_id: int,
+    job,
+    machine,
+    config,
+    runner_kwargs,
+    arrivals_factory,
+    arrivals_key,
+    detached: bool,
+    n_workers: int,
+) -> _WorkerState:
+    """Build this worker's share of the job: PE ``i`` (topological
+    order) lands on worker ``i % n_workers``."""
+    hub = NULL_HUB if detached else ObservabilityHub()
+    state = _WorkerState(hub)
+    for i, pe in enumerate(job.pes):
+        if i % n_workers != worker_id:
+            continue
+        state.runners[pe.name] = build_pe_runner(
+            job,
+            machine,
+            config,
+            i,
+            pe,
+            runner_kwargs,
+            arrivals_factory,
+            arrivals_key,
+            hub,
+        )
+        state.pes[pe.name] = pe
+        state.seeds[pe.name] = pe_seed(config, i)
+        state.real[pe.name] = (
+            real_source_factory(job, arrivals_factory, pe),
+            real_source_key(arrivals_factory, arrivals_key, pe),
+        )
+    return state
+
+
+def _begin_pe(state: _WorkerState, pe_name: str) -> bool:
+    state.runners[pe_name].begin_run()
+    return True
+
+
+def _fresh_cache_entries(state: _WorkerState) -> Dict:
+    """Memo cells created since the last ship (any PE of this worker).
+
+    Unpicklable values are skipped permanently — they could never have
+    crossed a pool boundary under ``run_cells`` either.
+    """
+    entries: Dict = {}
+    for key, value in list(cache._STORE.items()):
+        if key in state.shipped_cache_keys:
+            continue
+        state.shipped_cache_keys.add(key)
+        try:
+            pickle.dumps((key, value))
+        except Exception:
+            continue
+        entries[key] = value
+    return entries
+
+
+def _step_pe(
+    state: _WorkerState,
+    pe_name: str,
+    k: int,
+    rates: Optional[Dict[int, float]],
+) -> Dict:
+    """One adaptation period for one PE; returns the re-homing report."""
+    runner = state.runners[pe_name]
+    real_factory, real_key = state.real[pe_name]
+    factory, key = derived_arrivals(
+        state.pes[pe_name],
+        state.seeds[pe_name],
+        rates,
+        real_factory,
+        real_key,
+    )
+    runner.set_arrivals(factory, key)
+    observed = runner.step_period(k)
+    if state.hub is NULL_HUB:
+        decisions = []
+        metrics: Dict[str, dict] = {}
+    else:
+        log = state.hub.decisions()
+        decisions = [
+            _decision_fields(d) for d in log[state.decisions_seen:]
+        ]
+        state.decisions_seen = len(log)
+        exported = state.hub.registry.export_state(prefix="pe.")
+        metrics = {
+            name: entry
+            for name, entry in exported.items()
+            if state.metric_baseline.get(name) != entry
+        }
+        state.metric_baseline.update(metrics)
+    return {
+        "observed": observed,
+        "decisions": decisions,
+        "metrics": metrics,
+        "cache": _fresh_cache_entries(state),
+        "threads": runner.threads,
+        "placement": runner.placement,
+        "stable": runner.coordinator.is_stable,
+        "offered_util": runner.last_offered_utilization,
+        "mean_util": runner.last_mean_utilization,
+        "source_rate": runner.last_source_rate,
+        "sim_events": runner.sim_events,
+    }
+
+
+def _finish_pe(state: _WorkerState, pe_name: str):
+    """The PE's packaged adaptation result, fetched at end of run."""
+    return state.runners[pe_name].result()
+
+
+class JobWorkerSession:
+    """Parent-side handle on one run's worth of sticky workers.
+
+    Dispatch is two-phase per wave — :meth:`submit_step` for every PE
+    in the wave, then :meth:`collect_step` in the *same order* — which
+    keeps each worker's pipe strictly FIFO while letting different
+    workers simulate concurrently.
+    """
+
+    def __init__(
+        self,
+        job,
+        machine,
+        config,
+        runner_kwargs,
+        arrivals_factory,
+        arrivals_key,
+        detached: bool,
+        n_workers: int,
+    ) -> None:
+        self._pe_names = [pe.name for pe in job.pes]
+        self._worker_of = {
+            pe.name: i % n_workers for i, pe in enumerate(job.pes)
+        }
+        self.pool = WorkerPool(
+            n_workers,
+            _init_job_worker,
+            (
+                job,
+                machine,
+                config,
+                runner_kwargs,
+                arrivals_factory,
+                arrivals_key,
+                detached,
+                n_workers,
+            ),
+        )
+
+    def begin(self) -> None:
+        for name in self._pe_names:
+            self.pool.submit(self._worker_of[name], _begin_pe, name)
+        for name in self._pe_names:
+            self.pool.recv(self._worker_of[name])
+
+    def submit_step(
+        self, pe_name: str, k: int, rates: Optional[Dict[int, float]]
+    ) -> None:
+        self.pool.submit(
+            self._worker_of[pe_name], _step_pe, pe_name, k, rates
+        )
+
+    def collect_step(self, pe_name: str) -> Dict:
+        return self.pool.recv(self._worker_of[pe_name])
+
+    def finish(self) -> Dict[str, object]:
+        """Fetch every PE's final :class:`DesAdaptationResult`."""
+        for name in self._pe_names:
+            self.pool.submit(self._worker_of[name], _finish_pe, name)
+        return {
+            name: self.pool.recv(self._worker_of[name])
+            for name in self._pe_names
+        }
+
+    def close(self) -> None:
+        self.pool.close()

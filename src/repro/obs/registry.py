@@ -64,6 +64,19 @@ class Counter:
     def value(self) -> float:
         return self._value
 
+    def state(self) -> float:
+        """Picklable internal state (see ``MetricsRegistry.export_state``)."""
+        return self._value
+
+    def load_state(self, state: float) -> None:
+        """Overwrite the value with a state exported elsewhere.
+
+        Unlike :meth:`inc` this may move the value in any direction:
+        it re-homes a metric owned by exactly one remote writer (a
+        pool worker), it does not accumulate concurrent writers.
+        """
+        self._value = float(state)
+
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
@@ -96,6 +109,12 @@ class Gauge:
     @property
     def value(self) -> float:
         return self._value
+
+    def state(self) -> float:
+        return self._value
+
+    def load_state(self, state: float) -> None:
+        self._value = float(state)
 
     def to_dict(self) -> dict:
         return {
@@ -151,6 +170,20 @@ class Histogram:
     def counts(self) -> Tuple[int, ...]:
         """Per-bucket (non-cumulative) counts; last entry is +Inf."""
         return tuple(self._counts)
+
+    def state(self) -> Tuple[Tuple[int, ...], float, int]:
+        return (tuple(self._counts), self._sum, self._n)
+
+    def load_state(self, state: Tuple[Tuple[int, ...], float, int]) -> None:
+        counts, total, n = state
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name!r} state has {len(counts)} "
+                f"buckets, expected {len(self._counts)}"
+            )
+        self._counts = list(counts)
+        self._sum = float(total)
+        self._n = int(n)
 
     def cumulative(self) -> Tuple[Tuple[float, int], ...]:
         """Prometheus-style cumulative ``(le_bound, count)`` pairs."""
@@ -245,6 +278,56 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, dict]:
         """JSON-serializable dump of every metric, sorted by name."""
         return {m.name: m.to_dict() for m in self}
+
+    # ------------------------------------------------------------------
+    # cross-process state transfer (sticky pool workers)
+    # ------------------------------------------------------------------
+    def export_state(self, prefix: str = "") -> Dict[str, dict]:
+        """Picklable per-metric state for every metric under ``prefix``.
+
+        Each entry carries enough to *re-create* the metric in another
+        registry (kind, description, histogram bounds) plus its current
+        :meth:`~Counter.state`, so a pool worker's scoped metrics can
+        be re-homed into the parent hub with :meth:`merge_state`.
+        """
+        out: Dict[str, dict] = {}
+        for metric in self:
+            if prefix and not metric.name.startswith(prefix):
+                continue
+            entry = {
+                "kind": metric.kind,
+                "description": metric.description,
+                "state": metric.state(),
+            }
+            if isinstance(metric, Histogram):
+                entry["bounds"] = metric.bounds
+            out[metric.name] = entry
+        return out
+
+    def merge_state(self, exported: Dict[str, dict]) -> None:
+        """Install exported metric states, creating metrics as needed.
+
+        Overwrites each named metric's state with the exported one —
+        single-writer semantics: every exported name must have exactly
+        one remote owner (the job executor's ``pe.<name>.`` scoping
+        guarantees this).
+        """
+        for name in sorted(exported):
+            entry = exported[name]
+            kind = entry["kind"]
+            if kind == "counter":
+                metric = self.counter(name, entry["description"])
+            elif kind == "gauge":
+                metric = self.gauge(name, entry["description"])
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name,
+                    bounds=entry["bounds"],
+                    description=entry["description"],
+                )
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown metric kind {kind!r}")
+            metric.load_state(entry["state"])
 
 
 # ----------------------------------------------------------------------

@@ -123,7 +123,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    results = run_scenario(compiled, backend=args.backend)
+    results = run_scenario(
+        compiled,
+        backend=args.backend,
+        jobs=getattr(args, "jobs", None),
+    )
     rows = []
     for r in results:
         rows.append(

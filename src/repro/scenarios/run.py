@@ -73,17 +73,21 @@ def _counter_value(hub: ObservabilityHub, name: str) -> float:
 
 
 def run_on_des(
-    compiled: CompiledScenario, obs: Optional[Obs] = None
+    compiled: CompiledScenario,
+    obs: Optional[Obs] = None,
+    jobs: Optional[int] = None,
 ) -> ScenarioRunResult:
     """Run the scenario's adaptation loop on the tuple-level DES.
 
     Multi-PE scenarios (a ``pes:`` block) are dispatched to the job
-    executor — the single-PE runner cannot route inter-PE channels.
+    executor — the single-PE runner cannot route inter-PE channels —
+    with ``jobs`` (the worker-pool width) forwarded; single-PE
+    scenarios have nothing to parallelize and ignore it.
     """
     from ..des.adaptation import DesAdaptationRunner
 
     if compiled.multi_pe:
-        return run_on_job(compiled, obs=obs)
+        return run_on_job(compiled, obs=obs, jobs=jobs)
     run = compiled.scenario.run
     hub = obs if obs is not None else ObservabilityHub()
     runner = DesAdaptationRunner(
@@ -121,13 +125,17 @@ def run_on_des(
 
 
 def run_on_job(
-    compiled: CompiledScenario, obs: Optional[Obs] = None
+    compiled: CompiledScenario,
+    obs: Optional[Obs] = None,
+    jobs: Optional[int] = None,
 ) -> ScenarioRunResult:
     """Run a multi-PE scenario through the job executor.
 
     ``decisions`` carries the *job-level* decision stream (scope
     ``"job"``); per-PE R1–R5 streams stay in the hub under their
-    ``pe.<name>`` scopes for callers that keep the hub.
+    ``pe.<name>`` scopes for callers that keep the hub.  ``jobs``
+    overrides the worker-pool width (explicit argument beats the
+    scenario's ``run.jobs``, which beats ``REPRO_JOB_WORKERS``).
     """
     from ..job.executor import JobAdaptationRunner
 
@@ -152,6 +160,7 @@ def run_on_job(
         arrivals_key=compiled.arrivals_key(),
         overflow=compiled.overflow,
         channel=compiled.channel,
+        jobs=jobs if jobs is not None else run.jobs,
     )
     result = runner.run(
         max_periods=run.max_periods,
@@ -182,7 +191,11 @@ def run_on_job(
     )
 
 
-def make_backend(compiled: CompiledScenario, obs: Optional[Obs] = None):
+def make_backend(
+    compiled: CompiledScenario,
+    obs: Optional[Obs] = None,
+    jobs: Optional[int] = None,
+):
     """Construct the :class:`~repro.runtime.backend.AdaptationBackend`
     a compiled scenario runs on, without running it.
 
@@ -208,6 +221,7 @@ def make_backend(compiled: CompiledScenario, obs: Optional[Obs] = None):
             arrivals_key=compiled.arrivals_key(),
             overflow=compiled.overflow,
             channel=compiled.channel,
+            jobs=jobs if jobs is not None else run.jobs,
         )
     if compiled.scenario.run.backend is Backend.PERFMODEL:
         from ..runtime.backend import PerfModelAdaptationRunner
@@ -282,17 +296,19 @@ def run_scenario(
     compiled: CompiledScenario,
     backend: Optional[str] = None,
     obs: Optional[Obs] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[ScenarioRunResult, ...]:
     """Run a compiled scenario on the requested backend(s).
 
     ``backend`` is ``"des"``, ``"perfmodel"`` or ``"both"``; ``None``
     defers to the scenario's own ``run.backend`` declaration.  Returns
-    one result per backend actually run.
+    one result per backend actually run.  ``jobs`` sets the multi-PE
+    worker-pool width (the ``--jobs`` CLI flag).
     """
     choice = Backend(backend) if backend else compiled.scenario.run.backend
     results = []
     if choice in (Backend.DES, Backend.BOTH):
-        results.append(run_on_des(compiled, obs=obs))
+        results.append(run_on_des(compiled, obs=obs, jobs=jobs))
     if choice in (Backend.PERFMODEL, Backend.BOTH):
         results.append(run_on_perfmodel(compiled, obs=obs))
     return tuple(results)

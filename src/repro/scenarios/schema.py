@@ -322,7 +322,10 @@ class RunSpec:
 
     ``warmup_s`` / ``measure_s`` / ``queue_capacity`` / ``overflow`` /
     ``max_periods`` drive the DES backend; ``duration_s`` drives the
-    perfmodel backend's virtual-clock executor.
+    perfmodel backend's virtual-clock executor.  ``jobs`` is the
+    worker-pool width for multi-PE scenarios (None defers to the
+    ``--jobs`` flag / ``REPRO_JOB_WORKERS``; 1 forces the sequential
+    path); single-PE scenarios ignore it.
     """
 
     backend: Backend = Backend.BOTH
@@ -336,6 +339,7 @@ class RunSpec:
     stop_after_stable_periods: Optional[int] = 8
     duration_s: float = 2000.0
     profile_from_execution: bool = True
+    jobs: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -918,6 +922,7 @@ def _run_from_dict(data: Any, path: str) -> RunSpec:
             "stop_after_stable_periods",
             "duration_s",
             "profile_from_execution",
+            "jobs",
         ),
     )
     return RunSpec(
@@ -973,6 +978,16 @@ def _run_from_dict(data: Any, path: str) -> RunSpec:
         profile_from_execution=_bool(
             data.get("profile_from_execution", True),
             f"{path}.profile_from_execution",
+        ),
+        jobs=(
+            _number(
+                data["jobs"],
+                f"{path}.jobs",
+                integer=True,
+                minimum=1,
+            )
+            if data.get("jobs") is not None
+            else None
         ),
     )
 

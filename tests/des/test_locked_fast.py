@@ -1,0 +1,173 @@
+"""The vectorized locked-region path is an optimization, not a model.
+
+A region whose locks can only ever be taken by one thread
+(``threads_reaching <= 1``) joins the burst fast path: the per-tuple
+``lock_s`` charges and the per-lock ``acquisitions`` tallies are
+batched arithmetically instead of trampolining through the
+acquire/release kernel.  The gate must be *exactly* semantics
+preserving — same sink counts, same lock tallies, same adaptation
+decisions — and must never engage where a lock is genuinely
+contendable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import cache
+from repro.des import engine as engine_mod
+from repro.des.adaptation import DesAdaptationRunner
+from repro.des.engine import DesEngine
+from repro.graph import GraphBuilder
+from repro.graph.topologies import pipeline
+from repro.obs.hub import ObservabilityHub
+from repro.perfmodel import laptop
+from repro.runtime import QueuePlacement, RuntimeConfig
+
+
+@pytest.fixture
+def machine():
+    return laptop(4)
+
+
+def _locked_chain():
+    """src -> work -> snk where the sink guards a counter with a lock
+    (the paper's contention source)."""
+    b = GraphBuilder("locked-chain", payload_bytes=128)
+    src = b.add_source("src", cost_flops=50.0)
+    work = b.add_operator("work", cost_flops=2000.0)
+    snk = b.add_sink("snk", cost_flops=100.0)  # uses_lock defaults on
+    b.chain(src, work, snk)
+    return b.build()
+
+
+def _measure(graph, placement, threads, locked_fast, machine):
+    engine = DesEngine(
+        graph,
+        machine,
+        placement,
+        threads,
+        locked_fast=locked_fast,
+    )
+    result = engine.run(warmup_s=0.001, measure_s=0.01)
+    acquisitions = {
+        idx: lk.acquisitions
+        for idx, lk in sorted(engine._op_locks.items())
+    }
+    return result, acquisitions
+
+
+def _assert_equivalent(fast, fast_acq, slow, slow_acq, rel=5e-3):
+    """Aggregate equivalence: per-tuple costs are batched *exactly*,
+    but vectorizing changes event granularity — a burst completes as
+    one event — so counts drift by the same few percent the batched
+    channels are allowed (who waits on whom at burst boundaries), and
+    by well under a burst in single-thread runs.  Decision identity,
+    the pinned regression surface, is asserted separately below."""
+    assert fast.sink_tuples == pytest.approx(slow.sink_tuples, rel=rel)
+    assert fast.sink_tuples_per_s == pytest.approx(
+        slow.sink_tuples_per_s, rel=rel
+    )
+    assert fast.source_tuples_per_s == pytest.approx(
+        slow.source_tuples_per_s, rel=rel
+    )
+    assert fast_acq.keys() == slow_acq.keys()
+    for idx in fast_acq:
+        assert fast_acq[idx] == pytest.approx(slow_acq[idx], rel=rel)
+    # Locks were actually exercised, or this test pins nothing.
+    assert sum(fast_acq.values()) > 0
+
+
+class TestEngineEquivalence:
+    def test_uncontendable_region_matches_slow_path(self, machine):
+        # One thread total: every lock is uncontendable, the whole
+        # locked region takes the vectorized path.
+        graph = _locked_chain()
+        fast, fast_acq = _measure(
+            graph, QueuePlacement.empty(), 0, True, machine
+        )
+        slow, slow_acq = _measure(
+            graph, QueuePlacement.empty(), 0, False, machine
+        )
+        _assert_equivalent(fast, fast_acq, slow, slow_acq)
+
+    def test_queue_serialized_region_still_vectorizes(self, machine):
+        # A queue port serializes its region, so a lock behind a queue
+        # stays uncontendable (threads_reaching counts *regions*, not
+        # scheduler threads) and the fast path may engage there too.
+        graph = _locked_chain()
+        placement = QueuePlacement.of([graph.by_name("work").index])
+        fast, fast_acq = _measure(graph, placement, 2, True, machine)
+        slow, slow_acq = _measure(graph, placement, 2, False, machine)
+        _assert_equivalent(fast, fast_acq, slow, slow_acq, rel=0.05)
+
+    def test_contended_fanin_keeps_kernel_path(self, machine):
+        # Two source regions both execute the shared locked sink
+        # inline: the lock genuinely contends, the fast path must stay
+        # out of the way — byte-identical with the flag off.
+        b = GraphBuilder("locked-fanin", payload_bytes=128)
+        snk = b.add_sink("snk", cost_flops=100.0)
+        for i in range(2):
+            src = b.add_source(f"src{i}", cost_flops=50.0)
+            op = b.add_operator(f"op{i}", cost_flops=2000.0)
+            b.chain(src, op, snk)
+        graph = b.build()
+        engine = DesEngine(
+            graph, machine, QueuePlacement.empty(), 0, locked_fast=True
+        )
+        snk_idx = graph.by_name("snk").index
+        assert engine.decomposition.threads_reaching(snk_idx) == 2
+        fast, fast_acq = _measure(
+            graph, QueuePlacement.empty(), 0, True, machine
+        )
+        slow, slow_acq = _measure(
+            graph, QueuePlacement.empty(), 0, False, machine
+        )
+        assert fast.sink_tuples == slow.sink_tuples
+        assert fast.queue_occupancy == slow.queue_occupancy
+        assert fast.thread_busy_fraction == slow.thread_busy_fraction
+        assert fast_acq == slow_acq
+        assert sum(fast_acq.values()) > 0
+
+    def test_module_flag_is_constructor_default(self, machine):
+        graph = _locked_chain()
+        engine = DesEngine(graph, machine, QueuePlacement.empty(), 0)
+        assert engine.locked_fast is engine_mod.LOCKED_FAST
+        off = DesEngine(
+            graph, machine, QueuePlacement.empty(), 0, locked_fast=False
+        )
+        assert off.locked_fast is False
+
+
+class TestAdaptationEquivalence:
+    def test_decisions_identical_with_flag_off(self, monkeypatch, machine):
+        """The full R1-R5 loop over a locked pipeline must not notice
+        the flag: same rule sequence, same converged configuration.
+        (Raw observed throughputs drift within the granularity band,
+        so they are deliberately not part of this signature.)"""
+
+        def run(flag):
+            monkeypatch.setattr(engine_mod, "LOCKED_FAST", flag)
+            cache.clear()
+            hub = ObservabilityHub()
+            runner = DesAdaptationRunner(
+                pipeline(6, cost_flops=3000.0, payload_bytes=128),
+                machine,
+                RuntimeConfig(cores=4, seed=5),
+                warmup_s=0.001,
+                measure_s=0.004,
+                obs=hub,
+            )
+            result = runner.run(
+                max_periods=14, stop_after_stable_periods=None
+            )
+            return (
+                tuple(
+                    (d.rule, d.set_threads, d.set_n_queues)
+                    for d in hub.decisions()
+                ),
+                result.final_threads,
+                result.final_n_queues,
+            )
+
+        assert run(True) == run(False)

@@ -102,3 +102,65 @@ class TestNullObjects:
         NULL_COUNTER.inc(5)
         NULL_GAUGE.set(1)
         NULL_HISTOGRAM.observe(2)
+
+
+class TestStateTransfer:
+    """export_state / merge_state: re-homing a pool worker's metrics."""
+
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("pe.a.events", "evts").inc(41)
+        reg.gauge("pe.a.threads", "thr").set(3)
+        reg.histogram("pe.a.lat", bounds=(1, 10), description="lat").observe(5)
+        reg.counter("loop.periods").inc(7)
+        return reg
+
+    def test_export_filters_by_prefix(self):
+        reg = self._populated()
+        exported = reg.export_state(prefix="pe.")
+        assert set(exported) == {"pe.a.events", "pe.a.threads", "pe.a.lat"}
+        assert reg.export_state().keys() >= exported.keys()
+
+    def test_export_is_picklable(self):
+        import pickle
+
+        pickle.dumps(self._populated().export_state(prefix="pe."))
+
+    def test_merge_recreates_metrics_with_state(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        dst.merge_state(src.export_state(prefix="pe."))
+        assert dst.get("pe.a.events").value == 41
+        assert dst.get("pe.a.threads").value == 3
+        hist = dst.get("pe.a.lat")
+        assert hist.bounds == (1.0, 10.0)
+        assert hist.count == 1 and hist.sum == 5.0
+        # Unprefixed metrics were filtered out, not merged.
+        assert dst.get("loop.periods") is None
+
+    def test_merge_overwrites_single_writer_state(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        dst.counter("pe.a.events").inc(100)
+        dst.merge_state(src.export_state(prefix="pe."))
+        # Overwrite, not accumulate: the worker owns the metric.
+        assert dst.get("pe.a.events").value == 41
+
+    def test_merge_can_move_a_counter_backwards(self):
+        # load_state bypasses the monotonicity guard by design.
+        dst = MetricsRegistry()
+        dst.counter("pe.a.events").inc(100)
+        src = MetricsRegistry()
+        src.counter("pe.a.events").inc(5)
+        dst.merge_state(src.export_state(prefix="pe."))
+        assert dst.get("pe.a.events").value == 5
+
+    def test_histogram_bucket_mismatch_raises(self):
+        src = MetricsRegistry()
+        src.histogram("pe.h", bounds=(1, 2, 3)).observe(2)
+        exported = src.export_state()
+        exported["pe.h"]["bounds"] = (1.0, 2.0)
+        exported["pe.h"]["state"] = ((1, 0, 0, 0), 2.0, 1)
+        dst = MetricsRegistry()
+        with pytest.raises(ValueError):
+            dst.merge_state(exported)

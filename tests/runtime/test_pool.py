@@ -1,0 +1,126 @@
+"""The sticky worker pool: protocol, crash surfacing, width resolution.
+
+:mod:`repro.runtime.pool` backs both the bench sweep fan-out
+(``run_cells``) and the job executor's per-PE sticky workers.  The
+sweep side is covered by the bench suites; this file pins the
+:class:`WorkerPool` primitive itself — per-worker state from
+``init_fn``, FIFO submit/recv, error and crash propagation — and the
+``job_workers`` width-resolution precedence.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime.pool import (
+    POOL_START_ERRORS,
+    WorkerPool,
+    WorkerPoolError,
+    job_workers,
+    parallel_enabled,
+)
+
+
+# ----------------------------------------------------------------------
+# worker-side functions must be module-level (pickled by reference)
+# ----------------------------------------------------------------------
+def _init_state(worker_id, base):
+    return {"id": worker_id, "base": base, "calls": 0}
+
+
+def _add(state, x):
+    state["calls"] += 1
+    return state["base"] + state["id"] * 100 + x
+
+
+def _ncalls(state):
+    return state["calls"]
+
+
+def _boom(state):
+    raise ValueError("worker-side failure")
+
+
+def _die(state):
+    os._exit(17)
+
+
+def _init_boom(worker_id):
+    raise RuntimeError("init refused")
+
+
+class TestWorkerPool:
+    def test_per_worker_state_is_sticky(self):
+        with WorkerPool(2, _init_state, (1000,)) as pool:
+            assert pool.call(0, _add, 7) == 1007
+            assert pool.call(1, _add, 7) == 1107
+            # State persists across calls on the same worker.
+            pool.call(0, _add, 0)
+            assert pool.call(0, _ncalls) == 2
+            assert pool.call(1, _ncalls) == 1
+
+    def test_submit_recv_is_fifo_per_worker(self):
+        with WorkerPool(1, _init_state, (0,)) as pool:
+            for x in range(5):
+                pool.submit(0, _add, x)
+            assert [pool.recv(0) for _ in range(5)] == list(range(5))
+
+    def test_worker_exception_ships_traceback(self):
+        with WorkerPool(1, _init_state, (0,)) as pool:
+            pool.submit(0, _boom)
+            with pytest.raises(WorkerPoolError) as exc:
+                pool.recv(0)
+            assert "worker-side failure" in str(exc.value)
+            assert "ValueError" in str(exc.value)
+            # The worker survives its own exception.
+            assert pool.call(0, _add, 1) == 1
+
+    def test_worker_crash_raises_clean_error(self):
+        with WorkerPool(1, _init_state, (0,)) as pool:
+            pool.submit(0, _die)
+            with pytest.raises(WorkerPoolError) as exc:
+                pool.recv(0)
+            assert "17" in str(exc.value)
+
+    def test_init_failure_surfaces_at_construction(self):
+        with pytest.raises(WorkerPoolError):
+            WorkerPool(1, _init_boom, ())
+
+    def test_start_errors_cover_unpicklable_callables(self):
+        # Closures/lambdas can't cross the pipe; callers of the sticky
+        # pool catch these to fall back to sequential execution.
+        assert AttributeError in POOL_START_ERRORS
+        assert TypeError in POOL_START_ERRORS
+
+
+class TestJobWorkers:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_WORKERS", raising=False)
+        assert job_workers() == 1
+
+    def test_env_var_sets_width(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_WORKERS", "4")
+        assert job_workers() == 4
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_WORKERS", "4")
+        assert job_workers(2) == 2
+        assert job_workers(1) == 1
+
+    def test_width_clamps_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_WORKERS", "0")
+        assert job_workers() == 1
+        assert job_workers(0) == 1
+        assert job_workers(-3) == 1
+
+    def test_garbage_env_falls_back_to_sequential(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_WORKERS", "many")
+        assert job_workers() == 1
+
+    def test_parallel_enabled_still_reads_its_own_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        monkeypatch.setenv("REPRO_JOB_WORKERS", "8")
+        assert not parallel_enabled()
+        assert job_workers() == 8

@@ -245,3 +245,27 @@ class TestRoundTrip:
         # nested specs are fully expanded, not elided
         assert "queue_capacity" in data["run"]
         assert "modulation" in data["workload"]["arrivals"]
+
+
+class TestRunJobs:
+    """The run.jobs knob: multi-PE worker-pool width."""
+
+    def test_jobs_parses_and_round_trips(self):
+        s = scenario_from_dict(_minimal(run={"jobs": 4}))
+        assert s.run.jobs == 4
+        again = scenario_from_dict(scenario_to_dict(s))
+        assert again.run.jobs == 4
+
+    def test_jobs_defaults_to_none(self):
+        s = scenario_from_dict(_minimal())
+        assert s.run.jobs is None
+        # None round-trips too (the flag/env fallback stays live).
+        assert scenario_from_dict(scenario_to_dict(s)).run.jobs is None
+
+    def test_jobs_must_be_a_positive_integer(self):
+        with pytest.raises(ScenarioError) as err:
+            scenario_from_dict(_minimal(run={"jobs": 0}))
+        assert "run.jobs" in str(err.value)
+        with pytest.raises(ScenarioError) as err:
+            scenario_from_dict(_minimal(run={"jobs": 2.5}))
+        assert "run.jobs" in str(err.value)
