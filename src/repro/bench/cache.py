@@ -23,7 +23,15 @@ This module provides the process-local memo store those layers share:
   caller's observability hub and process-local counters for tests;
 - :func:`snapshot` / :func:`install` export and import picklable cache
   state so :func:`repro.bench.parallel.run_cells` can seed pool workers
-  with the parent's already-computed cells.
+  with the parent's already-computed cells;
+- :func:`disk_lookup` / :func:`disk_store` are an **optional on-disk
+  tier** rooted at ``REPRO_MEMO_DIR`` (or an explicit directory):
+  entries are pickled under versioned keys and survive across
+  processes and sessions.  Loads are corruption-safe — an unreadable,
+  truncated or stale-format entry is a miss, never an exception — so
+  a shared cache directory can be populated concurrently and carried
+  between runs without ceremony.  The warm-start phase store
+  (:mod:`repro.core.warmstart`) persists through this tier.
 
 Only immutable (or never-mutated) values belong in the cache —
 ``DesResult``, ``Comparison``, ``CostProfile`` are frozen dataclasses;
@@ -46,7 +54,11 @@ from ..graph.serialize import graph_to_dict
 from ..obs.hub import Obs, ensure_hub
 
 __all__ = [
+    "DISK_FORMAT_VERSION",
     "config_fingerprint",
+    "disk_dir",
+    "disk_lookup",
+    "disk_store",
     "fingerprint",
     "graph_fingerprint",
     "install",
@@ -150,6 +162,94 @@ def config_fingerprint(config: Any) -> str:
 
 
 # ----------------------------------------------------------------------
+# the optional on-disk tier
+# ----------------------------------------------------------------------
+# Bumped whenever the meaning of cached payloads changes; entries
+# written under any other version load as misses (stale-format safety).
+DISK_FORMAT_VERSION = 1
+
+
+def disk_dir(override: Optional[str] = None) -> Optional[str]:
+    """Root of the on-disk tier, or None when it is disabled.
+
+    An explicit ``override`` wins; otherwise the ``REPRO_MEMO_DIR``
+    environment variable.  No directory means the tier is off and
+    every disk lookup misses.
+    """
+    if override is not None:
+        return override or None
+    raw = os.environ.get("REPRO_MEMO_DIR", "").strip()
+    return raw or None
+
+
+def _disk_path(directory: str, kind: str, key: Any) -> str:
+    return os.path.join(directory, kind, f"{fingerprint(key)}.pkl")
+
+
+def disk_lookup(
+    kind: str,
+    key: Any,
+    directory: Optional[str] = None,
+    obs: Optional[Obs] = None,
+) -> Tuple[bool, Any]:
+    """Read one entry from the disk tier; ``(hit, value)``.
+
+    Every failure mode — tier disabled, file absent, unreadable,
+    truncated pickle, format-version mismatch, key-digest collision
+    payload — degrades to a miss.  A shared cache directory can
+    therefore never break a run, only fail to speed it up.
+    """
+    root = disk_dir(directory)
+    if root is None:
+        return False, None
+    path = _disk_path(root, kind, key)
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        version, stored_key, value = payload
+        if version != DISK_FORMAT_VERSION or stored_key != key:
+            return False, None
+    except Exception:
+        return False, None
+    hub = ensure_hub(obs)
+    hub.registry.counter(
+        "bench.cache_disk_hits", "lookups served from the on-disk tier"
+    ).inc()
+    return True, value
+
+
+def disk_store(
+    kind: str,
+    key: Any,
+    value: Any,
+    directory: Optional[str] = None,
+) -> Any:
+    """Write one entry to the disk tier (no-op when it is disabled).
+
+    Writes go through a temp file + ``os.replace`` so concurrent
+    readers only ever see complete entries; unpicklable values and
+    filesystem errors are swallowed (the tier is an accelerator, not
+    a store of record).
+    """
+    root = disk_dir(directory)
+    if root is None:
+        return value
+    path = _disk_path(root, kind, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(tmp, "wb") as fh:
+            pickle.dump((DISK_FORMAT_VERSION, key, value), fh)
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return value
+
+
+# ----------------------------------------------------------------------
 # the store
 # ----------------------------------------------------------------------
 _SENTINEL = object()
@@ -167,11 +267,21 @@ def lookup(key: Tuple[Any, ...], obs: Optional[Obs] = None) -> Tuple[bool, Any]:
         return False, None
     value = _STORE.get(key, _SENTINEL)
     if value is _SENTINEL:
-        _MISSES += 1
-        hub.registry.counter(
-            "bench.cache_misses", "measurement memo lookups that missed"
-        ).inc()
-        return False, None
+        # Memory miss: fall through to the on-disk tier (when a
+        # REPRO_MEMO_DIR is configured) and promote hits into memory.
+        disk_hit, disk_value = disk_lookup("memo", key, obs=hub)
+        if disk_hit:
+            if len(_STORE) >= MAX_ENTRIES:
+                _STORE.clear()
+            _STORE[key] = disk_value
+            value = disk_value
+        else:
+            _MISSES += 1
+            hub.registry.counter(
+                "bench.cache_misses",
+                "measurement memo lookups that missed",
+            ).inc()
+            return False, None
     _HITS += 1
     hub.registry.counter(
         "bench.cache_hits", "measurement re-runs skipped by the memo cache"
@@ -185,6 +295,8 @@ def store(key: Tuple[Any, ...], value: Any) -> Any:
         if len(_STORE) >= MAX_ENTRIES:
             _STORE.clear()
         _STORE[key] = value
+        if disk_dir() is not None:
+            disk_store("memo", key, value)
     return value
 
 

@@ -326,6 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_JOB_WORKERS, then 1)"
         ),
     )
+    bench.add_argument(
+        "--warm-start",
+        default=None,
+        choices=["off", "model", "history", "auto"],
+        help=(
+            "coordinator warm-start policy: 'model' seeds from the "
+            "analytical performance model, 'history' from the "
+            "persistent phase store (REPRO_MEMO_DIR), 'auto' tries "
+            "history then model (default: the scenario's "
+            "run.warm_start, then REPRO_WARM_START, then off)"
+        ),
+    )
 
     run = sub.add_parser("run", help="run a figure experiment")
     run.add_argument("experiment", help="e.g. fig09, fig15a")

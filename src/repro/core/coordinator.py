@@ -10,9 +10,15 @@ gained".  Design decisions encoded here, as in the paper:
   (avoids oversubscription overshoot; thread changes have higher
   variance so they live in the outer loop).
 - **Adjustment direction starts from minimum parallelism** — no queues,
-  minimum threads; parallelism is introduced, never stripped away from a
-  fully dynamic start (more reliable signal, no initial
-  over-subscription).
+  minimum threads; parallelism is introduced upward from a fully
+  dynamic start (more reliable signal, no initial over-subscription).
+  Warm starts (:mod:`repro.core.warmstart`) are the sanctioned
+  exception: a seeded entry lands on a *non-minimal* state, so both
+  the warm entry and ``_restart`` anchor the thread-count search at
+  the current level — arming its guarded downward probe — and
+  suppress the trend classifier for the first period at the new
+  state (the jump itself is a configuration change, not a workload
+  trend).
 - **Learning from history** — each threading model adjustment records
   the thread range it remained optimal for; a thread change landing
   inside the recorded range skips the secondary adjustment.
@@ -134,6 +140,14 @@ class MultiLevelCoordinator:
         self._history_hit = False
         self._satisfaction: Optional[float] = None
         self._last_observed: Optional[float] = None
+        # Optional warm-start policy (repro.core.warmstart); None keeps
+        # every stock code path byte-identical.
+        self._warm = None
+        # One-shot trend suppression: the first period after a restart
+        # or warm jump compares against a throughput measured under a
+        # different configuration, so its trend is reported FLAT
+        # instead of misclassifying the jump as a workload trend.
+        self._suppress_next_trend = False
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +165,15 @@ class MultiLevelCoordinator:
     def mode_history(self) -> List[Mode]:
         return list(self._mode_log)
 
+    def set_warm_start(self, session) -> None:
+        """Install (or clear, with None) the warm-start session.
+
+        The session is consulted at INIT and at every workload-change
+        restart; converged operating points are reported back through
+        ``session.record``.  See :mod:`repro.core.warmstart`.
+        """
+        self._warm = session
+
     # ------------------------------------------------------------------
     def step(self, observed: float) -> CoordinatorAction:
         """Process one adaptation period's throughput observation.
@@ -166,6 +189,8 @@ class MultiLevelCoordinator:
         self._detail = ""
         self._history_hit = False
         self._satisfaction = None
+        suppress_trend = self._suppress_next_trend
+        self._suppress_next_trend = False
         if self.mode is Mode.INIT:
             action = self._step_init(observed)
         elif self.mode is Mode.THREADING_MODEL:
@@ -174,7 +199,7 @@ class MultiLevelCoordinator:
             action = self._step_thread_count(observed)
         else:
             action = self._step_stable(observed)
-        if self._last_observed is None:
+        if self._last_observed is None or suppress_trend:
             trend = Trend.FLAT
         else:
             trend = classify_trend(
@@ -202,14 +227,74 @@ class MultiLevelCoordinator:
 
     # ------------------------------------------------------------------
     def _step_init(self, observed: float) -> CoordinatorAction:
-        """First observation: profile, then open the initial UP phase."""
-        self._rule = "F7-INIT"
+        """First observation: profile, then open the initial UP phase
+        — or jump straight to a warm-start hint when one is offered."""
         groups = list(self.profile_provider())
+        hint = self._warm.hint() if self._warm is not None else None
+        if hint is not None:
+            return self._apply_warm_hint(
+                groups, hint, note="warm start"
+            )
+        self._rule = "F7-INIT"
         self.threading_model.set_groups(
             groups, self.threading_model.placement()
         )
         step = self.threading_model.begin_phase(Direction.UP, observed)
         return self._emit_tm_step(step, observed, note="initial exploration")
+
+    def _apply_warm_hint(
+        self, groups, hint, note: str
+    ) -> CoordinatorAction:
+        """Seed the controllers from a warm-start hint.
+
+        Model hints (``snap=False``) enter THREAD_COUNT with the
+        search anchored at the hinted level, so R1–R5 exploration —
+        including the guarded downward probe — corrects model error.
+        Phase-store hints (``snap=True``) enter STABLE directly: the
+        configuration already converged for this exact phase, and the
+        stable-mode deviation monitor catches staleness.
+        """
+        valid = {m for g in groups for m in g.members}
+        queued = [i for i in hint.queued if i in valid]
+        self.threading_model.set_groups(groups, QueuePlacement.of(queued))
+        placement = self.threading_model.placement()
+        level = max(
+            self.thread_count.min_threads,
+            min(self.thread_count.max_threads, hint.threads),
+        )
+        self.history.clear()
+        if hint.thread_range is not None:
+            lo, hi = hint.thread_range
+            self.history.seed_entry(
+                placement, min(lo, level), max(hi, level)
+            )
+        else:
+            self.history.create_entry(placement, level)
+        self.thread_count.warm_start(level, settled=hint.snap)
+        self._pending = None
+        self._settle_probes_done = 0
+        self._settle_stay_streak = 0
+        self._last_settle_direction = None
+        self._deviation_streak = 0
+        self._suppress_next_trend = True
+        self._detail = _join_detail(self._detail, f"warm-{hint.source}")
+        if hint.snap:
+            self.mode = Mode.STABLE
+            # The recorded throughput is the baseline the deviation
+            # monitor holds the snap to: a stale snap (the phase
+            # changed under the same key) under-delivers immediately
+            # and restarts, instead of silently re-baselining at the
+            # degraded level.  Hints without an expectation fall back
+            # to first-period baselining.
+            self._stable_baseline = hint.expected_throughput
+            self._rule = "F7-WARM-SNAP"
+        else:
+            self.mode = Mode.THREAD_COUNT
+            self._stable_baseline = None
+            self._rule = "F7-WARM-START"
+        return CoordinatorAction(
+            set_placement=placement, set_threads=level, note=note
+        )
 
     # ------------------------------------------------------------------
     def _step_threading_model(self, observed: float) -> CoordinatorAction:
@@ -351,6 +436,7 @@ class MultiLevelCoordinator:
             self._stable_baseline = observed
             self._deviation_streak = 0
             self._rule = "F7-SETTLED"
+            self._record_converged(observed)
             return CoordinatorAction(note="settled")
         self._rule = "F7-HOLD"
         return CoordinatorAction(note="thread count holding")
@@ -405,8 +491,31 @@ class MultiLevelCoordinator:
             self._stable_baseline = 0.9 * baseline + 0.1 * observed
         return CoordinatorAction(note="stable")
 
+    def _record_converged(self, observed: float) -> None:
+        """Report a settled operating point to the warm-start session."""
+        if self._warm is None:
+            return
+        record = self.history.last
+        thread_range = (
+            (record.min_threads, record.max_threads)
+            if record is not None
+            else None
+        )
+        self._warm.record(
+            threads=self.thread_count.current,
+            queued=tuple(sorted(self.current_placement.queued)),
+            throughput=observed,
+            thread_range=thread_range,
+        )
+
     def _restart(self, observed: float) -> CoordinatorAction:
-        """Workload change detected: re-profile and re-explore."""
+        """Workload change detected: re-profile and re-explore.
+
+        With a warm-start session installed, the new phase may be one
+        the phase store has seen (or the model can predict) — then the
+        restart jumps straight to the hinted operating point instead
+        of re-exploring from the current state.
+        """
         self._rule = "F7-WORKLOAD-CHANGE"
         self._deviation_streak = 0
         self._stable_baseline = None
@@ -414,11 +523,21 @@ class MultiLevelCoordinator:
         self._settle_stay_streak = 0
         self._last_settle_direction = None
         groups = list(self.profile_provider())
+        hint = self._warm.hint() if self._warm is not None else None
+        if hint is not None:
+            return self._apply_warm_hint(
+                groups, hint, note="workload change (warm)"
+            )
         self.threading_model.set_groups(
             groups, self.threading_model.placement()
         )
         self.history.clear()
         self.thread_count.reset()
+        # The reset re-anchors the search at the current level; the
+        # first period after the restart measures under the same
+        # configuration but a changed workload, so its trend would
+        # misread the workload shift as a search result.
+        self._suppress_next_trend = True
         self.mode = Mode.THREAD_COUNT
         step = self.threading_model.begin_phase(Direction.UP, observed)
         return self._emit_tm_step(step, observed, note="workload change")

@@ -94,6 +94,27 @@ class AdjustmentHistory:
         self.records.append(record)
         return record
 
+    def seed_entry(
+        self,
+        placement: QueuePlacement,
+        min_threads: int,
+        max_threads: int,
+    ) -> AdjustmentRecord:
+        """New record with a pre-validated thread range.
+
+        Used by warm starts (:mod:`repro.core.warmstart`): a phase
+        store replays the range a previous convergence validated, so
+        thread changes landing inside it skip the secondary adjustment
+        exactly as if this run had learned it.
+        """
+        record = AdjustmentRecord(
+            placement=placement,
+            min_threads=min_threads,
+            max_threads=max_threads,
+        )
+        self.records.append(record)
+        return record
+
     def update_entry(self, thread_level: int) -> None:
         """Extend the current record after a STAY decision."""
         if not self.records:

@@ -74,7 +74,16 @@ class ThreadCountElasticity:
         self._prev_level: Optional[int] = None
         self._refine_lo = self.min_threads
         self._refine_hi = self.max_threads
-        self._restart_anchor: Optional[int] = None
+        # A non-minimal start is an implicit anchor: the guarded
+        # downward probe (see propose) only fires above a non-None
+        # anchor, so without this a search seeded above min_threads
+        # could *never* correct downward — the cold-start asymmetry
+        # documented in coordinator.py.  A minimal start keeps the
+        # anchor None: nothing below it to probe, byte-identical to
+        # the historical behaviour.
+        self._restart_anchor: Optional[int] = (
+            self.level if self.level > self.min_threads else None
+        )
         #: What the most recent propose() did, e.g. "explore:4->8",
         #: "refine:12->10", "settle:8", "hold".  Consumed by the
         #: coordinator's Decision records as the `detail` field.
@@ -119,6 +128,29 @@ class ThreadCountElasticity:
         self._prev_level = None
         self._restart_anchor = self.level
         self._m_resets.inc()
+
+    def warm_start(self, level: int, settled: bool = False) -> None:
+        """Re-anchor the search at an externally seeded level.
+
+        Like :meth:`reset`, but the level comes from outside — a
+        perfmodel prediction or a phase-store record — rather than
+        from wherever the previous search left off.  The seeded level
+        becomes the restart anchor, which arms the guarded downward
+        probe: if the first exploration step up degrades, the search
+        probes below the seed instead of settling on an overshooting
+        prediction.  ``settled=True`` trusts the seed outright (phase
+        snap-back); the coordinator's stable-mode deviation monitor
+        remains the correction path.
+        """
+        level = max(self.min_threads, min(self.max_threads, level))
+        self.level = level
+        self._measurements.clear()
+        self._prev_level = None
+        self._restart_anchor = (
+            level if level > self.min_threads else None
+        )
+        self._phase = _Phase.SETTLED if settled else _Phase.EXPLORE
+        self.last_rule = f"warm:{level}"
 
     # ------------------------------------------------------------------
     def _granularity(self, level: int) -> int:

@@ -49,6 +49,11 @@ from ..bench import cache
 from ..core.binning import ProfilingGroup, build_groups
 from ..core.coordinator import MultiLevelCoordinator
 from ..core.profiler import CostProfile, SamplingProfiler
+from ..core.warmstart import (
+    WarmStartSpec,
+    make_runner_session,
+    quantize_rate,
+)
 from ..graph.model import StreamGraph
 from ..obs.hub import Obs, ensure_hub
 from ..perfmodel.machine import MachineProfile
@@ -107,6 +112,7 @@ class DesAdaptationRunner:
         arrivals_key: Optional[Tuple] = None,
         overflow: str = "block",
         channel: Optional[ChannelConfig] = None,
+        warm_start: Optional[WarmStartSpec] = None,
     ) -> None:
         """``arrivals_factory`` makes measurement periods *open-loop*:
         each period's engine gets fresh arrival streams starting at the
@@ -173,6 +179,11 @@ class DesAdaptationRunner:
         # the job executor compares this rate against the ingress rate
         # it installed to recover the true shortfall.
         self.last_source_rate = 0.0
+        # Warm-start policy: a disabled/absent spec leaves the
+        # coordinator's stock cold start byte-identical.
+        self._warm_spec: Optional[WarmStartSpec] = None
+        if warm_start is not None:
+            self.set_warm_start(warm_start)
         # Per-run stepping state (begin_run/step_period); run() drives
         # these, and the multi-PE job executor drives them directly to
         # interleave periods across PEs.
@@ -328,6 +339,42 @@ class DesAdaptationRunner:
         if result.open_loop:
             self._m_offered_util.set(result.offered_utilization)
         return result.sink_tuples_per_s
+
+    def _phase_token(self):
+        """Workload-phase component of the warm-start store key.
+
+        Closed-loop runs have exactly one phase ("saturated").  Open-
+        loop runs key on the envelope rate at the current period's
+        start, quantized so a phase revisited at a near-identical
+        offered rate (the next diurnal cycle, the next ON burst)
+        shares its store entry; without a rate oracle the arrival
+        key's full identity is the conservative fallback.
+        """
+        if not self._open_loop:
+            return "saturated"
+        spec = self._warm_spec
+        if spec is not None and spec.phase_rate is not None:
+            return ("rate", quantize_rate(spec.phase_rate(self._period_t0)))
+        return ("open", self._arrivals_key)
+
+    def set_warm_start(self, spec: Optional[WarmStartSpec]) -> None:
+        """Install (or clear, with None) the warm-start policy.
+
+        Part of the :class:`~repro.runtime.backend.AdaptationBackend`
+        surface: every substrate accepts the same picklable spec and
+        builds its own session against its graph and phase clock.
+        """
+        self._warm_spec = spec
+        self.coordinator.set_warm_start(
+            make_runner_session(
+                spec,
+                graph_fn=lambda: self.graph,
+                machine=self.machine,
+                config=self.config,
+                phase_token=self._phase_token,
+                obs=self._hub,
+            )
+        )
 
     def set_arrivals(self, factory, key: Optional[Tuple]) -> None:
         """Swap the arrival schedule between periods.

@@ -60,6 +60,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..bench import cache
+from ..core.warmstart import PhaseRecord, PhaseStore, WarmStartSpec
 from ..des.adaptation import DesAdaptationResult, DesAdaptationRunner
 from ..des.channels import ChannelConfig
 from ..obs.hub import Obs, ensure_hub
@@ -236,6 +237,7 @@ class JobAdaptationRunner:
         channel: Optional[ChannelConfig] = None,
         thread_budget: Optional[int] = None,
         jobs: Optional[int] = None,
+        warm_start: Optional[WarmStartSpec] = None,
     ) -> None:
         self.job = job
         self.machine = machine
@@ -246,6 +248,10 @@ class JobAdaptationRunner:
         # Worker-pool width: the ``jobs`` argument (e.g. the CLI's
         # ``--jobs``) wins, then REPRO_JOB_WORKERS, then 1 (sequential).
         self.jobs = job_workers(jobs)
+        # The warm-start spec rides inside runner_kwargs, so per-PE
+        # runners built parent-side AND in pool workers seed their
+        # coordinators identically (the spec is picklable by design).
+        self._warm_spec = warm_start
         self._runner_kwargs = dict(
             warmup_s=warmup_s,
             measure_s=measure_s,
@@ -254,7 +260,11 @@ class JobAdaptationRunner:
             sampled_profiling=sampled_profiling,
             overflow=overflow,
             channel=channel,
+            warm_start=warm_start,
         )
+        # JOB-level posterior: converged replica counts per phase.
+        self._job_store = self._make_job_store()
+        self._job_recorded = False
         self.coordinator = JobCoordinator(
             obs=self._hub, thread_budget=thread_budget
         )
@@ -300,6 +310,92 @@ class JobAdaptationRunner:
         # the per-PE results it fetched at the end of the run.
         self._session = None
         self._pe_results: Optional[Dict[str, DesAdaptationResult]] = None
+
+    # ------------------------------------------------------------------
+    # warm start
+    # ------------------------------------------------------------------
+    def set_warm_start(self, spec: Optional[WarmStartSpec]) -> None:
+        """Install (or clear) warm-start on every per-PE runner and on
+        the job-level replica posterior.  Updates ``_runner_kwargs`` so
+        pool workers spawned later build identically-seeded runners."""
+        self._warm_spec = spec
+        self._runner_kwargs["warm_start"] = spec
+        for runner in self.runners.values():
+            runner.set_warm_start(spec)
+        self._job_store = self._make_job_store()
+
+    def _make_job_store(self) -> Optional[PhaseStore]:
+        spec = self._warm_spec
+        if spec is None or spec.mode not in ("history", "auto"):
+            return None
+        return PhaseStore(spec.store_dir)
+
+    def _job_phase_key(self) -> str:
+        """Fingerprint of (job topology, machine, config): the key the
+        converged replica assignment is remembered under.  Replica
+        counts are a coarse knob, so the job-level phase token is
+        constant — per-PE stores carry the workload-phase dimension."""
+        pes = tuple(
+            (
+                pe.name,
+                cache.graph_fingerprint(pe.graph),
+                pe.replicas,
+                pe.max_replicas,
+                pe.elastic,
+            )
+            for pe in self.job.pes
+        )
+        channels = tuple(
+            (c.src_pe, c.dst_pe, c.dst_source, c.weight)
+            for c in self.job.channels
+        )
+        return cache.fingerprint(
+            "warm-job",
+            pes,
+            channels,
+            self.job.partition.strategy.value,
+            cache.machine_fingerprint(self.machine),
+            cache.config_fingerprint(self.config),
+        )
+
+    def _maybe_warm_replicas(self) -> None:
+        """Posterior snap-back at the JOB level: restore the converged
+        replica assignment recorded for this (job, machine, config)."""
+        if self._job_store is None:
+            return
+        record = self._job_store.lookup(self._job_phase_key())
+        if record is None or not record.replicas:
+            return
+        by_name = {pe.name: pe for pe in self.job.pes}
+        changed = False
+        for name, count in record.replicas:
+            pe = by_name.get(name)
+            if pe is None or not pe.elastic:
+                continue
+            count = max(1, min(pe.max_replicas, int(count)))
+            if self.replicas[name] != count:
+                self.replicas[name] = count
+                changed = True
+        if changed:
+            self._rebuild_routers()
+            self._hub.registry.counter(
+                "warmstart.job_replica_hits",
+                "job-level warm replica restores",
+            ).inc()
+
+    def _record_job_point(self, job_throughput: float) -> None:
+        self._job_recorded = True
+        total = self._total_threads()
+        self._job_store.record(
+            self._job_phase_key(),
+            PhaseRecord(
+                threads=total,
+                queued=(),
+                throughput=job_throughput,
+                thread_range=(total, total),
+                replicas=tuple(sorted(self.replicas.items())),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # arrival plumbing
@@ -479,6 +575,12 @@ class JobAdaptationRunner:
             self.replicas.update(action.set_replicas)
             self._rebuild_routers()
         self._job_changed = action.changed
+        if (
+            self._job_store is not None
+            and not self._job_recorded
+            and self.is_stable
+        ):
+            self._record_job_point(job_throughput)
         self.trace.observations.append(
             Observation(
                 time_s=k * period_s,
@@ -607,6 +709,8 @@ class JobAdaptationRunner:
         self.trace = AdaptationTrace.empty()
         self._pe_results = None
         self._pe_stable = {}
+        self._job_recorded = False
+        self._maybe_warm_replicas()
         self._session = self._start_session()
         try:
             if self._session is None:

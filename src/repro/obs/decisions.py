@@ -43,6 +43,8 @@ F7_BRANCHES: FrozenSet[str] = frozenset(
         "F7-HOLD",  # no change proposed this period
         "F7-STABLE",  # stable-mode monitoring, no deviation
         "F7-WORKLOAD-CHANGE",  # deviation persisted: re-profile, restart
+        "F7-WARM-START",  # model prior seeded the search (exploration on)
+        "F7-WARM-SNAP",  # phase-store posterior snapped straight to STABLE
     }
 )
 
@@ -56,6 +58,9 @@ ALT_BRANCHES: FrozenSet[str] = frozenset(
         "ALT-SETTLED",
         "ALT-STABLE",
         "ALT-HOLD",
+        "ALT-WARM-START",  # warm hint seeded placement + inner search
+        "ALT-WARM-SNAP",  # phase-store posterior snapped straight to STABLE
+        "ALT-WARM-PROBE",  # post-warm outer threading-model check
     }
 )
 

@@ -26,6 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover - type-checking only
     )
 
 _LAZY = {
+    "PredictedPoint": ("repro.perfmodel.predict", "PredictedPoint"),
+    "predict_operating_point": (
+        "repro.perfmodel.predict",
+        "predict_operating_point",
+    ),
     "LatencyEstimate": ("repro.perfmodel.latency", "LatencyEstimate"),
     "estimate_latency": ("repro.perfmodel.latency", "estimate_latency"),
     "latency_profile": ("repro.perfmodel.latency", "latency_profile"),
@@ -39,6 +44,8 @@ _LAZY = {
 }
 
 __all__ = [
+    "PredictedPoint",
+    "predict_operating_point",
     "LatencyEstimate",
     "estimate_latency",
     "latency_profile",

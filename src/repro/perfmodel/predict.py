@@ -1,0 +1,116 @@
+"""Predicted near-optimal operating points (the warm-start prior).
+
+The calibrated :class:`~repro.perfmodel.throughput.PerformanceModel`
+already answers "what would this (placement, threads) configuration
+sustain?"; this module inverts the question: given a graph and a
+machine, sweep a structured candidate grid and return the predicted
+near-optimal configuration so the multi-level coordinator can *start*
+there instead of climbing from minimum parallelism (POTUS-style
+model-driven placement, PAPERS.md).
+
+The candidate grid mirrors what the reactive search would eventually
+discover:
+
+- **placements** are cost-ordered prefixes — the eligible (non-source)
+  operators sorted by per-tuple work (``cost_flops`` × relative
+  arrival rate) descending, queued ``k`` at a time along a geometric
+  ladder from 0 to all of them.  The threading-model search randomizes
+  over profiling groups, but its fixed point concentrates queues on
+  the expensive operators, which is exactly this family;
+- **thread counts** follow the same geometric ladder the thread-count
+  controller explores (min, 2·min, … max).
+
+The selection applies the coordinator's own SASO rule: among all
+candidates within ``sens`` of the best predicted sink throughput,
+prefer the fewest threads, then the fewest queues — a prediction that
+overshoots would otherwise bake oversubscription into the warm start.
+
+The sweep costs O(log·log) model estimates (each itself cached per
+model instance), so querying the prior is far cheaper than even one
+simulated adaptation period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..graph.model import StreamGraph
+from ..runtime.queues import QueuePlacement
+from .machine import MachineProfile
+from .throughput import PerformanceModel
+
+
+@dataclass(frozen=True)
+class PredictedPoint:
+    """A model-predicted near-optimal configuration."""
+
+    threads: int
+    queued: Tuple[int, ...]
+    throughput: float
+
+    @property
+    def n_queues(self) -> int:
+        return len(self.queued)
+
+
+def _geometric_ladder(lo: int, hi: int) -> List[int]:
+    """lo, 2·lo, … capped at hi (hi always included)."""
+    ladder = []
+    level = max(1, lo)
+    while level < hi:
+        ladder.append(level)
+        level = max(level + 1, level * 2)
+    ladder.append(hi)
+    return ladder
+
+
+def candidate_placements(graph: StreamGraph) -> List[QueuePlacement]:
+    """Cost-ordered prefix placements along a geometric count ladder."""
+    rates = graph.arrival_rates()
+    eligible = sorted(
+        (op.index for op in graph if not op.is_source),
+        key=lambda i: (-graph.operators[i].cost_flops * rates[i], i),
+    )
+    counts = {0, len(eligible)}
+    counts.update(
+        k for k in _geometric_ladder(1, max(1, len(eligible)))
+    )
+    return [
+        QueuePlacement.of(eligible[:k])
+        for k in sorted(counts)
+        if k <= len(eligible)
+    ]
+
+
+def predict_operating_point(
+    graph: StreamGraph,
+    machine: MachineProfile,
+    min_threads: int = 1,
+    max_threads: int = 16,
+    sens: float = 0.05,
+) -> PredictedPoint:
+    """Predict the near-optimal (threads, queue placement) for a graph.
+
+    Returns the SASO-minimal candidate: lowest thread count, then
+    lowest queue count, among those within ``sens`` of the best
+    predicted sink throughput.
+    """
+    model = PerformanceModel(graph, machine)
+    thread_ladder = _geometric_ladder(min_threads, max_threads)
+    candidates: List[Tuple[float, int, QueuePlacement]] = []
+    for placement in candidate_placements(graph):
+        for threads in thread_ladder:
+            throughput = model.sink_throughput(placement, threads)
+            candidates.append((throughput, threads, placement))
+    best = max(c[0] for c in candidates)
+    floor = best * (1.0 - sens)
+    throughput, threads, placement = min(
+        (c for c in candidates if c[0] >= floor),
+        key=lambda c: (c[1], c[2].n_queues),
+    )
+    return PredictedPoint(
+        threads=threads,
+        queued=tuple(sorted(placement.queued)),
+        throughput=throughput,
+    )

@@ -13,10 +13,14 @@ configuration" should not care which substrate is underneath.
 :class:`AdaptationBackend` pins that shared surface as a structural
 protocol: a ``run(max_periods, stop_after_stable_periods)`` method
 returning a result with ``trace``, ``final_threads``,
-``final_n_queues`` and ``converged_throughput``.  The DES and job
-runners satisfy it natively; :class:`PerfModelAdaptationRunner` adapts
-the executor's duration-based API (the perfmodel thinks in simulated
-seconds, the protocol in periods).
+``final_n_queues`` and ``converged_throughput``, plus a
+``set_warm_start(spec)`` method accepting the same picklable
+:class:`~repro.core.warmstart.WarmStartSpec` on every substrate (a
+disabled or ``None`` spec must leave the stock cold-start decision
+log byte-identical).  The DES and job runners satisfy it natively;
+:class:`PerfModelAdaptationRunner` adapts the executor's
+duration-based API (the perfmodel thinks in simulated seconds, the
+protocol in periods).
 
 The protocol is runtime-checkable so tests can assert conformance
 without importing every substrate, but it is *structural*: nothing
@@ -63,6 +67,8 @@ class AdaptationBackend(Protocol):
         stop_after_stable_periods: Optional[int] = 8,
     ) -> BackendResult: ...
 
+    def set_warm_start(self, spec) -> None: ...
+
 
 class PerfModelAdaptationRunner:
     """:class:`AdaptationBackend` facade over the analytical model.
@@ -84,6 +90,7 @@ class PerfModelAdaptationRunner:
         duration_s: float = 2000.0,
         workload_events: Optional[List[tuple]] = None,
         obs: Optional[Obs] = None,
+        warm_start=None,
     ) -> None:
         from .executor import AdaptationExecutor
         from .pe import ProcessingElement
@@ -91,8 +98,32 @@ class PerfModelAdaptationRunner:
         self.config = config if config is not None else RuntimeConfig()
         self.duration_s = duration_s
         self.pe = ProcessingElement(graph, machine, self.config)
+        self._obs = obs
         self.executor = AdaptationExecutor(
             self.pe, workload_events=workload_events, obs=obs
+        )
+        self._warm_spec = None
+        if warm_start is not None:
+            self.set_warm_start(warm_start)
+
+    def set_warm_start(self, spec) -> None:
+        """Install (or clear) the warm-start policy on the underlying
+        coordinator.  The analytical substrate is steady-state — no
+        envelope clock — so its phase token is constant; the graph is
+        read lazily because workload events may swap it mid-run.
+        """
+        from ..core.warmstart import make_runner_session
+
+        self._warm_spec = spec
+        self.executor.coordinator.set_warm_start(
+            make_runner_session(
+                spec,
+                graph_fn=lambda: self.pe.graph,
+                machine=self.pe.machine,
+                config=self.config,
+                phase_token=lambda: "steady",
+                obs=self._obs,
+            )
         )
 
     def run(

@@ -127,6 +127,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         compiled,
         backend=args.backend,
         jobs=getattr(args, "jobs", None),
+        warm_start=getattr(args, "warm_start", None),
     )
     rows = []
     for r in results:

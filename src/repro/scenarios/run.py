@@ -72,10 +72,33 @@ def _counter_value(hub: ObservabilityHub, name: str) -> float:
     return float(metric.value) if metric is not None else 0.0
 
 
+def _warm_spec(compiled: CompiledScenario, explicit: Optional[str]):
+    """Resolve the effective warm-start policy into a
+    :class:`~repro.core.warmstart.WarmStartSpec`, or None when it
+    resolves to ``off`` (the default — byte-identical cold start).
+
+    Precedence mirrors ``--jobs``: explicit argument (the CLI flag)
+    beats the scenario's ``run.warm_start``, which beats the
+    ``REPRO_WARM_START`` environment variable.  The envelope's
+    ``rate_at`` becomes the phase oracle for open-loop scenarios so
+    the posterior keys on workload phase, not just topology.
+    """
+    from ..core.warmstart import WarmStartSpec, resolve_warm_start
+
+    mode = resolve_warm_start(explicit, compiled.scenario.run.warm_start)
+    if mode == "off":
+        return None
+    phase_rate = None
+    if compiled.arrival_process is not None:
+        phase_rate = compiled.arrival_process.rate_at
+    return WarmStartSpec(mode=mode, phase_rate=phase_rate)
+
+
 def run_on_des(
     compiled: CompiledScenario,
     obs: Optional[Obs] = None,
     jobs: Optional[int] = None,
+    warm_start: Optional[str] = None,
 ) -> ScenarioRunResult:
     """Run the scenario's adaptation loop on the tuple-level DES.
 
@@ -83,13 +106,17 @@ def run_on_des(
     executor — the single-PE runner cannot route inter-PE channels —
     with ``jobs`` (the worker-pool width) forwarded; single-PE
     scenarios have nothing to parallelize and ignore it.
+    ``warm_start`` overrides the scenario's ``run.warm_start``.
     """
     from ..des.adaptation import DesAdaptationRunner
 
     if compiled.multi_pe:
-        return run_on_job(compiled, obs=obs, jobs=jobs)
+        return run_on_job(
+            compiled, obs=obs, jobs=jobs, warm_start=warm_start
+        )
     run = compiled.scenario.run
     hub = obs if obs is not None else ObservabilityHub()
+    spec = _warm_spec(compiled, warm_start)
     runner = DesAdaptationRunner(
         compiled.graph,
         compiled.machine,
@@ -105,6 +132,8 @@ def run_on_des(
         overflow=compiled.overflow,
         channel=compiled.channel,
     )
+    if spec is not None:
+        runner.set_warm_start(spec)
     result = runner.run(
         max_periods=run.max_periods,
         stop_after_stable_periods=run.stop_after_stable_periods,
@@ -128,6 +157,7 @@ def run_on_job(
     compiled: CompiledScenario,
     obs: Optional[Obs] = None,
     jobs: Optional[int] = None,
+    warm_start: Optional[str] = None,
 ) -> ScenarioRunResult:
     """Run a multi-PE scenario through the job executor.
 
@@ -146,6 +176,7 @@ def run_on_job(
         )
     run = compiled.scenario.run
     hub = obs if obs is not None else ObservabilityHub()
+    spec = _warm_spec(compiled, warm_start)
     runner = JobAdaptationRunner(
         compiled.job,
         compiled.machine,
@@ -162,6 +193,8 @@ def run_on_job(
         channel=compiled.channel,
         jobs=jobs if jobs is not None else run.jobs,
     )
+    if spec is not None:
+        runner.set_warm_start(spec)
     result = runner.run(
         max_periods=run.max_periods,
         stop_after_stable_periods=run.stop_after_stable_periods,
@@ -195,6 +228,7 @@ def make_backend(
     compiled: CompiledScenario,
     obs: Optional[Obs] = None,
     jobs: Optional[int] = None,
+    warm_start: Optional[str] = None,
 ):
     """Construct the :class:`~repro.runtime.backend.AdaptationBackend`
     a compiled scenario runs on, without running it.
@@ -205,6 +239,7 @@ def make_backend(
     protocol.
     """
     run = compiled.scenario.run
+    spec = _warm_spec(compiled, warm_start)
     if compiled.multi_pe:
         from ..job.executor import JobAdaptationRunner
 
@@ -222,6 +257,7 @@ def make_backend(
             overflow=compiled.overflow,
             channel=compiled.channel,
             jobs=jobs if jobs is not None else run.jobs,
+            warm_start=spec,
         )
     if compiled.scenario.run.backend is Backend.PERFMODEL:
         from ..runtime.backend import PerfModelAdaptationRunner
@@ -232,6 +268,7 @@ def make_backend(
             compiled.config,
             duration_s=run.duration_s,
             obs=obs,
+            warm_start=spec,
         )
     from ..des.adaptation import DesAdaptationRunner
 
@@ -248,11 +285,14 @@ def make_backend(
         arrivals_key=compiled.arrivals_key(),
         overflow=compiled.overflow,
         channel=compiled.channel,
+        warm_start=spec,
     )
 
 
 def run_on_perfmodel(
-    compiled: CompiledScenario, obs: Optional[Obs] = None
+    compiled: CompiledScenario,
+    obs: Optional[Obs] = None,
+    warm_start: Optional[str] = None,
 ) -> ScenarioRunResult:
     """Run the scenario's adaptation loop on the analytical model."""
     from ..runtime.executor import AdaptationExecutor
@@ -264,6 +304,20 @@ def run_on_perfmodel(
         compiled.graph, compiled.machine, compiled.config
     )
     executor = AdaptationExecutor(pe, obs=hub)
+    spec = _warm_spec(compiled, warm_start)
+    if spec is not None:
+        from ..core.warmstart import make_runner_session
+
+        executor.coordinator.set_warm_start(
+            make_runner_session(
+                spec,
+                graph_fn=lambda: pe.graph,
+                machine=pe.machine,
+                config=compiled.config,
+                phase_token=lambda: "steady",
+                obs=hub,
+            )
+        )
     result = executor.run(
         duration_s=run.duration_s,
         stop_after_stable_periods=run.stop_after_stable_periods,
@@ -297,18 +351,25 @@ def run_scenario(
     backend: Optional[str] = None,
     obs: Optional[Obs] = None,
     jobs: Optional[int] = None,
+    warm_start: Optional[str] = None,
 ) -> Tuple[ScenarioRunResult, ...]:
     """Run a compiled scenario on the requested backend(s).
 
     ``backend`` is ``"des"``, ``"perfmodel"`` or ``"both"``; ``None``
     defers to the scenario's own ``run.backend`` declaration.  Returns
     one result per backend actually run.  ``jobs`` sets the multi-PE
-    worker-pool width (the ``--jobs`` CLI flag).
+    worker-pool width (the ``--jobs`` CLI flag); ``warm_start`` the
+    coordinator seeding policy (the ``--warm-start`` flag — explicit
+    beats ``run.warm_start`` beats ``REPRO_WARM_START``).
     """
     choice = Backend(backend) if backend else compiled.scenario.run.backend
     results = []
     if choice in (Backend.DES, Backend.BOTH):
-        results.append(run_on_des(compiled, obs=obs, jobs=jobs))
+        results.append(
+            run_on_des(compiled, obs=obs, jobs=jobs, warm_start=warm_start)
+        )
     if choice in (Backend.PERFMODEL, Backend.BOTH):
-        results.append(run_on_perfmodel(compiled, obs=obs))
+        results.append(
+            run_on_perfmodel(compiled, obs=obs, warm_start=warm_start)
+        )
     return tuple(results)

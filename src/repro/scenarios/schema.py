@@ -325,7 +325,10 @@ class RunSpec:
     perfmodel backend's virtual-clock executor.  ``jobs`` is the
     worker-pool width for multi-PE scenarios (None defers to the
     ``--jobs`` flag / ``REPRO_JOB_WORKERS``; 1 forces the sequential
-    path); single-PE scenarios ignore it.
+    path); single-PE scenarios ignore it.  ``warm_start`` selects the
+    coordinator seeding policy (``off`` / ``model`` / ``history`` /
+    ``auto``; None defers to the ``--warm-start`` flag /
+    ``REPRO_WARM_START``, which default to ``off``).
     """
 
     backend: Backend = Backend.BOTH
@@ -340,6 +343,7 @@ class RunSpec:
     duration_s: float = 2000.0
     profile_from_execution: bool = True
     jobs: Optional[int] = None
+    warm_start: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -923,6 +927,7 @@ def _run_from_dict(data: Any, path: str) -> RunSpec:
             "duration_s",
             "profile_from_execution",
             "jobs",
+            "warm_start",
         ),
     )
     return RunSpec(
@@ -989,7 +994,24 @@ def _run_from_dict(data: Any, path: str) -> RunSpec:
             if data.get("jobs") is not None
             else None
         ),
+        warm_start=_warm_start_mode(
+            data.get("warm_start"), f"{path}.warm_start"
+        ),
     )
+
+
+def _warm_start_mode(value: Any, path: str) -> Optional[str]:
+    if value is None:
+        return None
+    from ..core.warmstart import VALID_MODES
+
+    if not isinstance(value, str) or value not in VALID_MODES:
+        raise ScenarioError(
+            path,
+            f"unknown value {value!r} "
+            f"(valid values: {', '.join(VALID_MODES)})",
+        )
+    return value
 
 
 def _pe_from_dict(data: Any, path: str) -> PeSpec:

@@ -168,3 +168,82 @@ class TestHarnessMemoization:
         assert cache.stats()["hits"] == before + 1
         assert second == first
         assert second is not first  # defensive copy, not the cached list
+
+
+class TestDiskTier:
+    """The optional on-disk tier (REPRO_MEMO_DIR / explicit directory)."""
+
+    def test_disabled_without_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMO_DIR", raising=False)
+        assert cache.disk_dir() is None
+        assert cache.disk_lookup("memo", ("k",)) == (False, None)
+        # store is a value-returning no-op
+        assert cache.disk_store("memo", ("k",), 42) == 42
+
+    def test_round_trip_survives_memory_clear(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MEMO_DIR", str(tmp_path))
+        key = ("measure", "abc", 3)
+        cache.store(key, {"throughput": 123.0})
+        cache.clear()  # wipe the in-memory tier only
+        hit, value = cache.lookup(key)
+        assert hit and value == {"throughput": 123.0}
+        # the disk hit was promoted back into memory
+        hit2, _ = cache.lookup(key)
+        assert hit2
+
+    def test_explicit_directory_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MEMO_DIR", str(tmp_path / "env"))
+        explicit = tmp_path / "explicit"
+        cache.disk_store("memo", ("k",), 7, directory=str(explicit))
+        assert cache.disk_lookup(
+            "memo", ("k",), directory=str(explicit)
+        ) == (True, 7)
+        assert cache.disk_lookup("memo", ("k",)) == (False, None)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        key = ("k", 1)
+        cache.disk_store("memo", key, "good", directory=str(tmp_path))
+        path = tmp_path / "memo" / f"{cache.fingerprint(key)}.pkl"
+        path.write_bytes(b"\x80garbage not a pickle")
+        assert cache.disk_lookup(
+            "memo", key, directory=str(tmp_path)
+        ) == (False, None)
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        import pickle
+
+        key = ("k", 2)
+        path = tmp_path / "memo" / f"{cache.fingerprint(key)}.pkl"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps((cache.DISK_FORMAT_VERSION + 1, key, "stale"))
+        )
+        assert cache.disk_lookup(
+            "memo", key, directory=str(tmp_path)
+        ) == (False, None)
+
+    def test_digest_collision_payload_is_a_miss(self, tmp_path):
+        """An entry whose stored key differs from the requested one
+        (hash collision, or a renamed file) must not be served."""
+        import pickle
+
+        key = ("k", 3)
+        path = tmp_path / "memo" / f"{cache.fingerprint(key)}.pkl"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps((cache.DISK_FORMAT_VERSION, ("other",), "wrong"))
+        )
+        assert cache.disk_lookup(
+            "memo", key, directory=str(tmp_path)
+        ) == (False, None)
+
+    def test_unpicklable_value_is_swallowed(self, tmp_path):
+        cache.disk_store(
+            "memo", ("k",), lambda: None, directory=str(tmp_path)
+        )
+        assert cache.disk_lookup(
+            "memo", ("k",), directory=str(tmp_path)
+        ) == (False, None)
+        # no temp litter left behind
+        leftovers = list((tmp_path / "memo").glob("*.tmp.*"))
+        assert leftovers == []

@@ -1,0 +1,430 @@
+"""Warm-start layer: prior/posterior seeding of the coordinators."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import Mode, MultiLevelCoordinator
+from repro.core.binning import ProfilingGroup
+from repro.core.thread_count import ThreadCountElasticity
+from repro.core.warmstart import (
+    PhaseRecord,
+    PhaseStore,
+    WarmStartHint,
+    WarmStartSession,
+    WarmStartSpec,
+    make_runner_session,
+    quantize_rate,
+    resolve_warm_start,
+)
+from repro.runtime import ElasticityConfig
+
+
+def _groups(*member_lists):
+    return [
+        ProfilingGroup(
+            members=tuple(m), representative_metric=1000.0 / (gi + 1)
+        )
+        for gi, m in enumerate(member_lists)
+    ]
+
+
+def make_coordinator(groups, max_threads=16, **config_kw):
+    config = ElasticityConfig(**config_kw)
+    return MultiLevelCoordinator(
+        config=config,
+        max_threads=max_threads,
+        profile_provider=lambda: groups,
+        seed=0,
+    )
+
+
+class StubSession:
+    """Hands out one fixed hint and records what settles."""
+
+    def __init__(self, hint):
+        self._hint = hint
+        self.recorded = []
+
+    def hint(self):
+        return self._hint
+
+    def record(self, **kw):
+        self.recorded.append(kw)
+
+
+# ----------------------------------------------------------------------
+# mode resolution + spec
+# ----------------------------------------------------------------------
+class TestResolveWarmStart:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WARM_START", raising=False)
+        assert resolve_warm_start(None, None) == "off"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARM_START", " Auto ")
+        assert resolve_warm_start(None, None) == "auto"
+
+    def test_scenario_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARM_START", "auto")
+        assert resolve_warm_start(None, "history") == "history"
+
+    def test_explicit_beats_scenario(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARM_START", "auto")
+        assert resolve_warm_start("model", "history") == "model"
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_warm_start("sometimes")
+        monkeypatch.setenv("REPRO_WARM_START", "bogus")
+        with pytest.raises(ValueError):
+            resolve_warm_start(None, None)
+
+
+class TestWarmStartSpec:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            WarmStartSpec(mode="warmish")
+
+    def test_enabled(self):
+        assert not WarmStartSpec().enabled
+        assert WarmStartSpec(mode="auto").enabled
+
+    def test_picklable_for_pool_workers(self):
+        spec = WarmStartSpec(
+            mode="auto", store_dir="/tmp/x", phase_rate=quantize_rate
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+# ----------------------------------------------------------------------
+# phase store
+# ----------------------------------------------------------------------
+def _record(threads=4, throughput=100.0):
+    return PhaseRecord(
+        threads=threads,
+        queued=(1, 2),
+        throughput=throughput,
+        thread_range=(2, threads),
+    )
+
+
+class TestPhaseStore:
+    def test_memory_round_trip(self):
+        store = PhaseStore()
+        assert store.lookup("k") is None
+        store.record("k", _record())
+        assert store.lookup("k").threads == 4
+        assert len(store) == 1
+
+    def test_disk_persists_across_instances(self, tmp_path):
+        PhaseStore(str(tmp_path)).record("k", _record(threads=6))
+        fresh = PhaseStore(str(tmp_path))
+        hit = fresh.lookup("k")
+        assert hit is not None and hit.threads == 6
+
+    def test_non_record_disk_payload_is_a_miss(self, tmp_path):
+        from repro.bench import cache
+
+        cache.disk_store(
+            PhaseStore.KIND, "k", {"not": "a record"},
+            directory=str(tmp_path),
+        )
+        assert PhaseStore(str(tmp_path)).lookup("k") is None
+
+
+def test_quantize_rate_buckets_near_identical_rates():
+    assert quantize_rate(20100.0) == quantize_rate(20400.0) == 20000.0
+    assert quantize_rate(20000.0) != quantize_rate(160000.0)
+
+
+# ----------------------------------------------------------------------
+# session
+# ----------------------------------------------------------------------
+class TestWarmStartSession:
+    def test_off_yields_nothing_and_records_nothing(self):
+        store = PhaseStore()
+        s = WarmStartSession(
+            mode="off", phase_key=lambda: "k", store=store
+        )
+        assert s.hint() is None
+        s.record(threads=4, queued=(1,), throughput=10.0)
+        assert len(store) == 0
+
+    def test_history_hit_snaps(self):
+        store = PhaseStore()
+        store.record("k", _record(threads=5, throughput=77.0))
+        s = WarmStartSession(
+            mode="history", phase_key=lambda: "k", store=store
+        )
+        hint = s.hint()
+        assert hint.snap and hint.source == "history"
+        assert hint.threads == 5
+        assert hint.thread_range == (2, 5)
+
+    def test_auto_falls_back_to_prior_then_prefers_history(self):
+        store = PhaseStore()
+        prior_calls = []
+
+        def prior():
+            prior_calls.append(1)
+            return WarmStartHint(threads=3, queued=(), source="model")
+
+        s = WarmStartSession(
+            mode="auto", phase_key=lambda: "k", store=store, prior=prior
+        )
+        assert s.hint().source == "model"
+        s.record(threads=6, queued=(1,), throughput=50.0)
+        assert s.hint().source == "history"
+
+    def test_prior_cached_per_phase(self):
+        calls = []
+        token = ["a"]
+
+        def prior():
+            calls.append(1)
+            return WarmStartHint(threads=2, queued=(), source="model")
+
+        s = WarmStartSession(
+            mode="model", phase_key=lambda: token[0], prior=prior
+        )
+        s.hint()
+        s.hint()
+        assert len(calls) == 1  # same phase: prediction replayed
+        token[0] = "b"
+        s.hint()
+        assert len(calls) == 2  # new phase: model re-queried
+
+    def test_make_runner_session_off_is_none(self):
+        assert make_runner_session(
+            None,
+            graph_fn=lambda: None,
+            machine=None,
+            config=None,
+            phase_token=lambda: "t",
+        ) is None
+        assert make_runner_session(
+            WarmStartSpec(mode="off"),
+            graph_fn=lambda: None,
+            machine=None,
+            config=None,
+            phase_token=lambda: "t",
+        ) is None
+
+
+# ----------------------------------------------------------------------
+# thread-count warm entry
+# ----------------------------------------------------------------------
+class TestThreadCountWarmStart:
+    def test_warm_start_clamps_and_anchors(self):
+        tc = ThreadCountElasticity(
+            min_threads=1, max_threads=8, initial_threads=1
+        )
+        tc.warm_start(32)
+        assert tc.current == 8
+        assert tc._restart_anchor == 8
+
+    def test_warm_start_at_minimum_has_no_anchor(self):
+        tc = ThreadCountElasticity(
+            min_threads=1, max_threads=8, initial_threads=1
+        )
+        tc.warm_start(1)
+        assert tc._restart_anchor is None
+
+    def test_warm_start_settled_proposes_nothing(self):
+        tc = ThreadCountElasticity(
+            min_threads=1, max_threads=8, initial_threads=1
+        )
+        tc.warm_start(4, settled=True)
+        assert tc.settled
+        assert tc.propose(100.0) is None
+
+    def test_non_minimal_constructor_start_is_anchored(self):
+        """The cold-start asymmetry fix: an initial level above the
+        minimum arms the guarded downward probe, same as a restart."""
+        tc = ThreadCountElasticity(
+            min_threads=1, max_threads=8, initial_threads=4
+        )
+        assert tc._restart_anchor == 4
+        assert ThreadCountElasticity(
+            min_threads=1, max_threads=8, initial_threads=1
+        )._restart_anchor is None
+
+
+# ----------------------------------------------------------------------
+# coordinator warm entry
+# ----------------------------------------------------------------------
+class TestCoordinatorWarmStart:
+    def test_model_hint_enters_thread_count_anchored(self):
+        c = make_coordinator(_groups([1, 2], [3, 4]), max_threads=8)
+        c.set_warm_start(
+            StubSession(
+                WarmStartHint(threads=4, queued=(1, 3), source="model")
+            )
+        )
+        action = c.step(100.0)
+        assert c.mode is Mode.THREAD_COUNT
+        assert action.set_threads == 4
+        assert set(action.set_placement.queued) == {1, 3}
+        assert c.thread_count._restart_anchor == 4
+
+    def test_history_hint_snaps_to_stable(self):
+        c = make_coordinator(_groups([1, 2], [3, 4]), max_threads=8)
+        c.set_warm_start(
+            StubSession(
+                WarmStartHint(
+                    threads=6, queued=(1,), source="history", snap=True
+                )
+            )
+        )
+        action = c.step(100.0)
+        assert c.mode is Mode.STABLE
+        assert action.set_threads == 6
+        # And it stays stable while throughput holds.
+        c.step(100.0)
+        c.step(101.0)
+        assert c.mode is Mode.STABLE
+
+    def test_hint_queued_filtered_to_profiled_operators(self):
+        c = make_coordinator(_groups([1, 2]), max_threads=8)
+        c.set_warm_start(
+            StubSession(
+                WarmStartHint(
+                    threads=2, queued=(1, 99), source="history", snap=True
+                )
+            )
+        )
+        action = c.step(100.0)
+        assert set(action.set_placement.queued) == {1}
+
+    def test_hint_threads_clamped_to_bounds(self):
+        c = make_coordinator(_groups([1, 2]), max_threads=4)
+        c.set_warm_start(
+            StubSession(
+                WarmStartHint(threads=64, queued=(), source="model")
+            )
+        )
+        action = c.step(100.0)
+        assert action.set_threads == 4
+
+    def test_none_session_and_no_hint_are_stock(self):
+        cold = make_coordinator(_groups([1, 2]), max_threads=8)
+        nohint = make_coordinator(_groups([1, 2]), max_threads=8)
+        nohint.set_warm_start(StubSession(None))
+        a, b = cold.step(100.0), nohint.step(100.0)
+        assert (a.set_threads, a.note) == (b.set_threads, b.note)
+        assert cold.mode is nohint.mode
+
+    def _drive(self, c, f, periods):
+        from repro.runtime import QueuePlacement
+
+        placement = QueuePlacement.empty()
+        threads = c.current_threads
+        for _ in range(periods):
+            action = c.step(f(placement, threads))
+            if action.set_placement is not None:
+                placement = action.set_placement
+            if action.set_threads is not None:
+                threads = action.set_threads
+        return placement, threads
+
+    def test_overshooting_model_hint_is_corrected_downward(self):
+        """A prior that overshoots (hint 8 threads, peak at 2) must be
+        walked back by the anchored downward probe, not trusted."""
+        c = make_coordinator(_groups([1, 2]), max_threads=8)
+        c.set_warm_start(
+            StubSession(
+                WarmStartHint(threads=8, queued=(1, 2), source="model")
+            )
+        )
+
+        def f(placement, threads):
+            return 1000.0 / (1.0 + abs(threads - 2))
+
+        _, threads = self._drive(c, f, 30)
+        assert threads < 8
+
+    def test_settle_records_to_session(self):
+        session = StubSession(None)
+        c = make_coordinator(_groups([1, 2], [3]), max_threads=4)
+        c.set_warm_start(session)
+        self._drive(
+            c, lambda p, t: 100.0 * (1 + len(p)) * (1 + 0.2 * t), 40
+        )
+        assert c.mode is Mode.STABLE
+        assert session.recorded, "settling must report to the session"
+        last = session.recorded[-1]
+        assert last["threads"] == c.current_threads
+
+    def test_stale_snap_recovers_via_deviation_monitor(self):
+        """A snap to a configuration the workload has outgrown must
+        fall back to the stock re-exploration path (the phase store
+        has no entry for the *new* phase, so the restart is cold)."""
+        session = StubSession(
+            WarmStartHint(
+                threads=2,
+                queued=(1,),
+                source="history",
+                expected_throughput=100.0,
+                snap=True,
+            )
+        )
+        c = make_coordinator(_groups([1, 2]), max_threads=8)
+        c.set_warm_start(session)
+        c.step(100.0)
+        assert c.mode is Mode.STABLE
+        # The workload moves to a phase the store has never seen.
+        session._hint = None
+        # Sustained deviation: baseline 100 -> 30.
+        for _ in range(6):
+            c.step(30.0)
+        assert c.mode is not Mode.STABLE
+
+
+class TestRestartSnapBack:
+    def test_workload_change_snaps_back_in_one_period(self):
+        """End-to-end posterior: settle, record, deviate, and the
+        restart consults the store and lands in STABLE immediately."""
+        store = PhaseStore()
+        session = WarmStartSession(
+            mode="history", phase_key=lambda: "phase-A", store=store
+        )
+        c = make_coordinator(_groups([1, 2], [3]), max_threads=4)
+        c.set_warm_start(session)
+
+        def f(placement, threads):
+            return 100.0 * (1 + len(placement)) * (1 + 0.2 * threads)
+
+        placement = None
+        threads = c.current_threads
+        from repro.runtime import QueuePlacement
+
+        placement = QueuePlacement.empty()
+        for _ in range(40):
+            action = c.step(f(placement, threads))
+            if action.set_placement is not None:
+                placement = action.set_placement
+            if action.set_threads is not None:
+                threads = action.set_threads
+        assert c.mode is Mode.STABLE
+        assert store.lookup("phase-A") is not None
+        settled = (tuple(sorted(placement.queued)), threads)
+
+        # Sustained deviation forces a workload-change restart...
+        restarted = False
+        for _ in range(8):
+            action = c.step(10.0)
+            if action.set_placement is not None:
+                placement = action.set_placement
+            if action.set_threads is not None:
+                threads = action.set_threads
+            if c.mode is Mode.STABLE and action.set_threads is not None:
+                restarted = True
+                break
+        # ...and the restart snapped straight back to the recorded
+        # operating point in a single period.
+        assert restarted
+        assert (tuple(sorted(placement.queued)), threads) == settled

@@ -125,3 +125,119 @@ def test_make_backend_dispatch(tmp_path):
     backend = make_backend(job)
     assert isinstance(backend, JobAdaptationRunner)
     assert isinstance(backend, AdaptationBackend)
+
+
+# ----------------------------------------------------------------------
+# warm-start conformance: one spec, three substrates
+# ----------------------------------------------------------------------
+def _job(pipe4):
+    return build_job_graph(
+        pipe4,
+        (
+            PeSpec(name="a", operators=("src", "op0", "op1")),
+            PeSpec(name="b", operators=("op2", "op3", "snk")),
+        ),
+    )
+
+
+def _make(substrate, pipe4, hub=None, **kw):
+    if substrate == "des":
+        return DesAdaptationRunner(
+            pipe4,
+            laptop(4),
+            RuntimeConfig(seed=3),
+            warmup_s=0.001,
+            measure_s=0.004,
+            obs=hub,
+            **kw,
+        )
+    if substrate == "job":
+        return JobAdaptationRunner(
+            _job(pipe4),
+            laptop(4),
+            RuntimeConfig(seed=3),
+            warmup_s=0.001,
+            measure_s=0.004,
+            obs=hub,
+            **kw,
+        )
+    return PerfModelAdaptationRunner(
+        pipe4, laptop(4), RuntimeConfig(seed=3), obs=hub, **kw
+    )
+
+
+SUBSTRATES = ["des", "perfmodel", "job"]
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_every_backend_accepts_warm_start_hints(substrate, pipe4, tmp_path):
+    """The same WarmStartSpec drives every substrate through the
+    protocol surface, and the warm entry shows up in the decisions."""
+    from repro.core.warmstart import WarmStartSpec
+    from repro.obs.hub import ObservabilityHub
+
+    cache.clear()
+    hub = ObservabilityHub()
+    runner = _make(substrate, pipe4, hub=hub)
+    runner.set_warm_start(
+        WarmStartSpec(mode="model", store_dir=str(tmp_path))
+    )
+    result = runner.run(max_periods=4, stop_after_stable_periods=None)
+    assert len(result.trace.observations) >= 1
+    warm_rules = {
+        d.rule for d in hub.decisions() if d.rule.startswith("F7-WARM")
+    }
+    assert "F7-WARM-START" in warm_rules
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_disabled_warm_start_is_byte_identical(substrate, pipe4):
+    """mode="off" (and a cleared session) must leave the decision log
+    byte-identical to a runner that never heard of warm starts."""
+    from repro.core.warmstart import WarmStartSpec
+    from repro.obs.hub import ObservabilityHub
+
+    def decisions(**kw):
+        cache.clear()
+        hub = ObservabilityHub()
+        runner = _make(substrate, pipe4, hub=hub)
+        spec = kw.get("spec")
+        if spec is not None:
+            runner.set_warm_start(spec)
+        runner.run(max_periods=5, stop_after_stable_periods=None)
+        return tuple(
+            (d.scope, d.rule, d.set_threads, d.set_n_queues)
+            for d in hub.decisions()
+        )
+
+    stock = decisions()
+    assert decisions(spec=WarmStartSpec(mode="off")) == stock
+    assert decisions(spec=None) == stock
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_phase_store_round_trips_through_every_backend(
+    substrate, pipe4, tmp_path
+):
+    """history mode: a converged run populates the store and a fresh
+    runner snaps back instead of re-exploring."""
+    from repro.core.warmstart import WarmStartSpec
+    from repro.obs.hub import ObservabilityHub
+
+    spec = WarmStartSpec(mode="auto", store_dir=str(tmp_path))
+
+    def run_once():
+        cache.clear()
+        hub = ObservabilityHub()
+        runner = _make(substrate, pipe4, hub=hub)
+        runner.set_warm_start(spec)
+        result = runner.run(max_periods=60, stop_after_stable_periods=8)
+        return result, hub
+
+    first, _ = run_once()
+    second, hub2 = run_once()
+    rules2 = {d.rule for d in hub2.decisions()}
+    assert "F7-WARM-SNAP" in rules2
+    assert len(second.trace.observations) <= len(
+        first.trace.observations
+    )

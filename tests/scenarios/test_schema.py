@@ -269,3 +269,30 @@ class TestRunJobs:
         with pytest.raises(ScenarioError) as err:
             scenario_from_dict(_minimal(run={"jobs": 2.5}))
         assert "run.jobs" in str(err.value)
+
+
+class TestRunWarmStart:
+    """The run.warm_start knob: coordinator seeding policy."""
+
+    def test_warm_start_parses_and_round_trips(self):
+        for mode in ("off", "model", "history", "auto"):
+            s = scenario_from_dict(_minimal(run={"warm_start": mode}))
+            assert s.run.warm_start == mode
+            again = scenario_from_dict(scenario_to_dict(s))
+            assert again.run.warm_start == mode
+
+    def test_warm_start_defaults_to_none(self):
+        s = scenario_from_dict(_minimal())
+        assert s.run.warm_start is None
+        # None round-trips too (the flag/env fallback stays live).
+        assert (
+            scenario_from_dict(scenario_to_dict(s)).run.warm_start is None
+        )
+
+    def test_warm_start_rejects_unknown_modes(self):
+        with pytest.raises(ScenarioError) as err:
+            scenario_from_dict(_minimal(run={"warm_start": "always"}))
+        assert "run.warm_start" in str(err.value)
+        with pytest.raises(ScenarioError) as err:
+            scenario_from_dict(_minimal(run={"warm_start": 1}))
+        assert "run.warm_start" in str(err.value)
